@@ -1,0 +1,168 @@
+package branchlab_test
+
+import (
+	"testing"
+
+	"branchlab"
+	"branchlab/internal/experiments"
+	"branchlab/internal/report"
+	"branchlab/internal/tage"
+)
+
+// One benchmark per table and figure of the paper. Each iteration
+// regenerates the artifact end to end (workload synthesis, prediction,
+// screening, pipeline timing) at the Quick configuration; run
+// cmd/experiments for the full-budget versions recorded in
+// EXPERIMENTS.md.
+
+func benchExperiment(b *testing.B, id string) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not found", id)
+	}
+	cfg := experiments.Quick()
+	var sink *report.Artifact
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = r.Run(cfg)
+	}
+	if sink == nil || sink.ID != id {
+		b.Fatal("experiment produced no artifact")
+	}
+}
+
+func BenchmarkFig1(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkTable1(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkTable2(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkFig3(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkTable3(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkFig6(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkAllocStats(b *testing.B) { benchExperiment(b, "alloc") }
+func BenchmarkCNNHelper(b *testing.B)  { benchExperiment(b, "cnn") }
+func BenchmarkPhaseCond(b *testing.B)  { benchExperiment(b, "phasecond") }
+
+// --- ablations: the design choices DESIGN.md calls out -----------------
+
+// BenchmarkAblationHistoryLengths reports TAGE accuracy as the number of
+// tagged tables varies, isolating the value of the geometric history
+// series.
+func BenchmarkAblationHistoryLengths(b *testing.B) {
+	spec, _ := branchlab.Workload("641.leela_s")
+	tr := branchlab.RecordTrace(spec, 0, 300_000)
+	for _, tables := range []int{2, 6, 10} {
+		b.Run(byTables(tables), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tage.Config8KB()
+				cfg.NumTables = tables
+				st := branchlab.Run(tr.Stream(), tage.New(cfg))
+				b.ReportMetric(st.Accuracy(), "accuracy")
+			}
+		})
+	}
+}
+
+func byTables(n int) string {
+	return map[int]string{2: "tables=2", 6: "tables=6", 10: "tables=10"}[n]
+}
+
+// BenchmarkAblationSC isolates the statistical corrector's contribution.
+func BenchmarkAblationSC(b *testing.B) {
+	spec, _ := branchlab.Workload("657.xz_s")
+	tr := branchlab.RecordTrace(spec, 0, 300_000)
+	for _, useSC := range []bool{false, true} {
+		name := "sc=off"
+		if useSC {
+			name = "sc=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tage.Config8KB()
+				cfg.UseSC = useSC
+				st := branchlab.Run(tr.Stream(), tage.New(cfg))
+				b.ReportMetric(st.Accuracy(), "accuracy")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoop isolates the loop predictor's contribution.
+func BenchmarkAblationLoop(b *testing.B) {
+	spec, _ := branchlab.Workload("623.xalancbmk_s")
+	tr := branchlab.RecordTrace(spec, 0, 300_000)
+	for _, useLoop := range []bool{false, true} {
+		name := "loop=off"
+		if useLoop {
+			name = "loop=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tage.Config8KB()
+				cfg.UseLoop = useLoop
+				st := branchlab.Run(tr.Stream(), tage.New(cfg))
+				b.ReportMetric(st.Accuracy(), "accuracy")
+			}
+		})
+	}
+}
+
+// BenchmarkPredictorZoo is the CBP-style comparison: every baseline
+// predictor over the same trace, accuracy reported as a metric.
+func BenchmarkPredictorZoo(b *testing.B) {
+	spec, _ := branchlab.Workload("631.deepsjeng_s")
+	tr := branchlab.RecordTrace(spec, 0, 300_000)
+	for _, name := range []string{
+		"static-taken", "bimodal", "gshare", "local", "perceptron", "ppm",
+		"tournament", "tage-sc-l-8", "tage-sc-l-64",
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := branchlab.NewPredictor(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := branchlab.Run(tr.Stream(), p)
+				b.ReportMetric(st.Accuracy(), "accuracy")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineScalePerfectBP sanity-checks the timing model: IPC
+// must grow monotonically with pipeline scale under perfect prediction.
+func BenchmarkPipelineScalePerfectBP(b *testing.B) {
+	spec, _ := branchlab.Workload("600.perlbench_s")
+	tr := branchlab.RecordTrace(spec, 0, 300_000)
+	for _, scale := range []int{1, 4, 16} {
+		b.Run(byScale(scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := branchlab.SimulateIPC(tr.Stream(),
+					branchlab.SkylakeConfig().Scaled(scale),
+					branchlab.PipelineOptions{PerfectBP: true})
+				b.ReportMetric(res.IPC, "IPC")
+			}
+		})
+	}
+}
+
+func byScale(k int) string {
+	return map[int]string{1: "scale=1x", 4: "scale=4x", 16: "scale=16x"}[k]
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed
+// (instructions per second through TAGE-SC-L 8KB + collector).
+func BenchmarkSimulationThroughput(b *testing.B) {
+	spec, _ := branchlab.Workload("605.mcf_s")
+	tr := branchlab.RecordTrace(spec, 0, 500_000)
+	b.SetBytes(500_000) // one "byte" per instruction: MB/s == M instrs/s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		branchlab.Run(tr.Stream(), branchlab.NewTAGESCL(8))
+	}
+}

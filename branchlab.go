@@ -1,0 +1,198 @@
+// Package branchlab is a from-scratch Go reproduction of "Branch
+// Prediction Is Not A Solved Problem: Measurements, Opportunities, and
+// Future Directions" (Lin & Tarsa, IISWC 2019): a trace-driven CPU
+// simulation stack — synthetic workload suites, a TAGE-SC-L predictor
+// with baselines, a Skylake-like out-of-order pipeline timing model —
+// plus the paper's measurement toolkit: H2P screening, heavy-hitter
+// ranking, SimPoint-style phase analysis, operand dependency graphs,
+// recurrence intervals, register-value tracking, TAGE allocation
+// telemetry and offline-trained CNN helper predictors.
+//
+// This package is the stable facade over the internal packages. Typical
+// use:
+//
+//	spec, _ := branchlab.Workload("605.mcf_s")
+//	stream := spec.Stream(0, 2_000_000)
+//	defer branchlab.CloseStream(stream)
+//
+//	pred := branchlab.NewTAGESCL(8)
+//	col := branchlab.NewCollector(500_000)
+//	stats := branchlab.Run(stream, pred, col)
+//	report := branchlab.ScreenH2Ps(col, 500_000)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every table and figure.
+package branchlab
+
+import (
+	"io"
+
+	"branchlab/internal/bp"
+	"branchlab/internal/cnn"
+	"branchlab/internal/core"
+	"branchlab/internal/experiments"
+	"branchlab/internal/phase"
+	"branchlab/internal/pipeline"
+	"branchlab/internal/simpoint"
+	"branchlab/internal/tage"
+	"branchlab/internal/trace"
+	"branchlab/internal/workload"
+	"branchlab/internal/zoo"
+)
+
+// Core trace types.
+type (
+	// Inst is one dynamic instruction record.
+	Inst = trace.Inst
+	// Stream is a forward-only instruction producer.
+	Stream = trace.Stream
+	// Buffer is a materialized, replayable trace.
+	Buffer = trace.Buffer
+	// Kind classifies instructions.
+	Kind = trace.Kind
+)
+
+// Predictor interfaces and implementations.
+type (
+	// Predictor is the branch-direction predictor contract.
+	Predictor = bp.Predictor
+	// TAGE is a TAGE-SC-L predictor instance.
+	TAGE = tage.Predictor
+	// TAGEConfig parameterizes a TAGE-SC-L instance.
+	TAGEConfig = tage.Config
+)
+
+// Measurement types.
+type (
+	// Collector accumulates per-slice per-branch statistics.
+	Collector = core.Collector
+	// Criteria are H2P screening thresholds.
+	Criteria = core.Criteria
+	// H2PReport is the result of screening a run.
+	H2PReport = core.H2PReport
+	// RunStats summarizes a measurement run.
+	RunStats = core.RunStats
+	// Observer receives per-instruction callbacks during Run.
+	Observer = core.Observer
+	// WorkloadSpec is one synthetic benchmark.
+	WorkloadSpec = workload.Spec
+	// PipelineConfig parameterizes the timing model.
+	PipelineConfig = pipeline.Config
+	// PipelineResult reports IPC and misprediction outcomes.
+	PipelineResult = pipeline.Result
+	// PipelineOptions selects the prediction regime of a timed run.
+	PipelineOptions = pipeline.Options
+	// HelperModel is an offline-trained CNN helper predictor.
+	HelperModel = cnn.Model
+	// HelperConfig sizes a CNN helper.
+	HelperConfig = cnn.Config
+)
+
+// NewTAGESCL returns a TAGE-SC-L predictor with approximately kb
+// kilobytes of state (the paper studies 8 through 1024).
+func NewTAGESCL(kb int) *TAGE { return tage.New(tage.NewConfig(kb)) }
+
+// NewPredictor constructs any predictor in the repository by name (e.g.
+// "tage-sc-l-8", "gshare", "perceptron"); see the zoo package for the
+// full list.
+func NewPredictor(name string) (Predictor, error) { return zoo.New(name) }
+
+// PredictorNames lists the available predictor names.
+func PredictorNames() []string { return zoo.Names() }
+
+// Workload returns the named synthetic workload from either suite.
+func Workload(name string) (*WorkloadSpec, bool) { return workload.ByName(name) }
+
+// SPECint2017Like returns the nine Table I workloads.
+func SPECint2017Like() []*WorkloadSpec { return workload.SPECint2017Like() }
+
+// LCFLike returns the six Table II large-code-footprint workloads.
+func LCFLike() []*WorkloadSpec { return workload.LCFLike() }
+
+// Run drives a stream through a predictor, fanning events to observers.
+func Run(s Stream, p Predictor, obs ...Observer) RunStats { return core.Run(s, p, obs...) }
+
+// NewCollector returns a Collector with the given slice length.
+func NewCollector(sliceLen uint64) *Collector { return core.NewCollector(sliceLen) }
+
+// PaperCriteria returns the published H2P screening thresholds (per
+// 30M-instruction slice).
+func PaperCriteria() Criteria { return core.PaperCriteria() }
+
+// ScreenH2Ps applies the paper's criteria, scaled to sliceLen, to a
+// collector.
+func ScreenH2Ps(col *Collector, sliceLen uint64) *H2PReport {
+	return core.PaperCriteria().Scaled(sliceLen).Screen(col)
+}
+
+// CloseStream releases a stream's resources if it holds any.
+func CloseStream(s Stream) error { return trace.CloseStream(s) }
+
+// RecordTrace materializes up to budget instructions from a workload
+// input.
+func RecordTrace(spec *WorkloadSpec, input int, budget uint64) *Buffer {
+	return spec.Record(input, budget)
+}
+
+// SkylakeConfig returns the baseline pipeline configuration; scale it
+// with Scaled for the paper's 2x-32x studies.
+func SkylakeConfig() PipelineConfig { return pipeline.Skylake() }
+
+// SimulateIPC times a stream on the pipeline model.
+func SimulateIPC(s Stream, cfg PipelineConfig, opt PipelineOptions) PipelineResult {
+	return pipeline.New(cfg).Run(s, opt)
+}
+
+// CountPhases runs SimPoint-style phase analysis over a stream.
+func CountPhases(s Stream, sliceLen uint64, maxK int) int {
+	return simpoint.Phases(s, sliceLen, maxK).K
+}
+
+// NewRecurrenceTracker returns the Fig 9 recurrence-interval observer.
+func NewRecurrenceTracker() *phase.RecurrenceTracker { return phase.NewRecurrenceTracker() }
+
+// DefaultHelperConfig returns the CNN helper configuration used by the
+// experiments.
+func DefaultHelperConfig() HelperConfig { return cnn.DefaultConfig() }
+
+// TrainHelper trains a CNN helper for the branch at target from the
+// given traces (ideally multiple application inputs, per §V-B).
+func TrainHelper(cfg HelperConfig, target uint64, traces ...*Buffer) *HelperModel {
+	var samples []cnn.Sample
+	for _, tr := range traces {
+		hc := cnn.NewHistoryCollector(cfg, target)
+		core.Run(tr.Stream(), bp.NewStatic(true), hc)
+		samples = append(samples, hc.Samples...)
+	}
+	m := cnn.NewModel(cfg)
+	m.Train(samples)
+	return m
+}
+
+// NewHelperOverlay deploys helper models alongside a base predictor.
+func NewHelperOverlay(cfg HelperConfig, base Predictor) *cnn.Overlay {
+	return cnn.NewOverlay(cfg, base)
+}
+
+// SaveHelper serializes a trained helper's deployment weights (the §V-D
+// "application metadata" the OS would load onto the BPU).
+func SaveHelper(w io.Writer, m *HelperModel) error {
+	_, err := m.WriteTo(w)
+	return err
+}
+
+// LoadHelper deserializes a helper model saved with SaveHelper.
+func LoadHelper(r io.Reader) (*HelperModel, error) { return cnn.ReadModel(r) }
+
+// Experiments returns the registry of paper table/figure drivers.
+func Experiments() []experiments.Runner { return experiments.All() }
+
+// ExperimentConfig is the scaling configuration for experiment drivers.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig returns the configuration used by
+// EXPERIMENTS.md; QuickExperimentConfig is the smoke-test variant.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+
+// QuickExperimentConfig returns a reduced configuration for smoke runs.
+func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }

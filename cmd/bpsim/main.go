@@ -1,0 +1,158 @@
+// Command bpsim runs a branch predictor over a synthetic workload (or a
+// recorded trace file) and reports accuracy, MPKI, H2P screening results
+// and — optionally — pipeline IPC.
+//
+// Examples:
+//
+//	bpsim -workload 605.mcf_s -predictor tage-sc-l-8 -budget 2000000
+//	bpsim -workload game -predictor tage-sc-l-64 -pipeline 4
+//	bpsim -trace trace.blt -predictor gshare
+//	bpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"branchlab/internal/core"
+	"branchlab/internal/pipeline"
+	"branchlab/internal/trace"
+	"branchlab/internal/workload"
+	"branchlab/internal/zoo"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "workload name (see -list)")
+		input        = flag.Int("input", 0, "application input index")
+		traceFile    = flag.String("trace", "", "run a recorded .blt trace instead of a workload")
+		predName     = flag.String("predictor", "tage-sc-l-8", "predictor name")
+		budget       = flag.Uint64("budget", 2_000_000, "instruction budget")
+		sliceLen     = flag.Uint64("slice", 500_000, "slice length for H2P screening")
+		pipeScale    = flag.Int("pipeline", 0, "run the pipeline model at this scale (0 = accuracy only)")
+		list         = flag.Bool("list", false, "list workloads and predictors")
+		top          = flag.Int("top", 0, "print the top-N mispredicting branches")
+	)
+	flag.Parse()
+	topN = *top
+
+	if *list {
+		fmt.Println("workloads (specint2017):")
+		for _, s := range workload.SPECint2017Like() {
+			fmt.Printf("  %-20s inputs=%d\n", s.Name, s.NumInputs)
+		}
+		fmt.Println("workloads (lcf):")
+		for _, s := range workload.LCFLike() {
+			fmt.Printf("  %-20s inputs=%d\n", s.Name, s.NumInputs)
+		}
+		fmt.Println("predictors:")
+		for _, n := range zoo.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, *pipeScale); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsim:", err)
+		os.Exit(1)
+	}
+}
+
+var topN int
+
+func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScale int) error {
+	pred, err := zoo.New(predName)
+	if err != nil {
+		return err
+	}
+
+	open := func() (trace.Stream, func(), error) {
+		if traceFile != "" {
+			f, err := os.Open(traceFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			return trace.NewReader(f), func() { f.Close() }, nil
+		}
+		spec, ok := workload.ByName(workloadName)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown workload %q (use -list)", workloadName)
+		}
+		s := spec.Stream(input, budget)
+		return s, func() { trace.CloseStream(s) }, nil
+	}
+
+	s, cleanup, err := open()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	col := core.NewCollector(sliceLen)
+	st := core.Run(s, pred, col)
+
+	fmt.Printf("predictor:        %s\n", pred.Name())
+	fmt.Printf("instructions:     %d\n", st.Insts)
+	fmt.Printf("cond branches:    %d\n", st.CondExecs)
+	fmt.Printf("mispredictions:   %d\n", st.Mispreds)
+	fmt.Printf("accuracy:         %.4f\n", st.Accuracy())
+	fmt.Printf("MPKI:             %.2f\n", st.MPKI())
+	fmt.Printf("static branches:  %d (median %d per %d-inst slice)\n",
+		col.StaticBranches(), col.MedianStaticPerSlice(), sliceLen)
+
+	crit := core.PaperCriteria().Scaled(sliceLen)
+	rep := crit.Screen(col)
+	set := rep.Set()
+	fmt.Printf("H2P branches:     %d total, %.1f avg/slice, %.1f%% of mispredictions\n",
+		len(set), rep.AvgPerSlice(), 100*rep.MispredShare())
+	fmt.Printf("accuracy excl. H2Ps: %.4f\n", col.AccuracyExcluding(set))
+	if hh := rep.HeavyHitters(); len(hh) > 0 {
+		n := len(hh)
+		if n > 5 {
+			n = 5
+		}
+		fmt.Println("top heavy hitters:")
+		for _, h := range hh[:n] {
+			fmt.Printf("  ip=%#x execs=%d mispreds=%d cum=%.2f\n",
+				h.IP, h.Execs, h.Mispreds, h.CumMispredFrac)
+		}
+	}
+
+	if topN > 0 {
+		type row struct {
+			ip       uint64
+			execs    uint64
+			mispreds uint64
+		}
+		var rows []row
+		for ip, b := range col.Totals() {
+			rows = append(rows, row{ip, b.Execs, b.Mispreds})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].mispreds > rows[j].mispreds })
+		if len(rows) > topN {
+			rows = rows[:topN]
+		}
+		fmt.Println("top mispredicting branches:")
+		for _, r := range rows {
+			fmt.Printf("  ip=%#x id=%-6d execs=%-8d mispreds=%-8d acc=%.3f\n",
+				r.ip, (r.ip-0x400000)/64, r.execs, r.mispreds,
+				1-float64(r.mispreds)/float64(r.execs))
+		}
+	}
+
+	if pipeScale > 0 {
+		s2, cleanup2, err := open()
+		if err != nil {
+			return err
+		}
+		defer cleanup2()
+		pred2, _ := zoo.New(predName)
+		res := pipeline.New(pipeline.Skylake().Scaled(pipeScale)).
+			Run(s2, pipeline.Options{Predictor: pred2})
+		fmt.Printf("pipeline %dx:      IPC %.3f (%.2f MPKI, %.2f L1D miss PKI)\n",
+			pipeScale, res.IPC, res.MPKI, res.L1DMissPKI)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures from
+// scratch. Each experiment synthesizes its workloads, runs the
+// predictors/pipeline, and prints the artifact that corresponds to one
+// published table or figure (see DESIGN.md for the index).
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run fig1
+//	experiments -run all -budget 3000000
+//	experiments -run table1 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"branchlab/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		quick  = flag.Bool("quick", false, "use the reduced quick configuration")
+		budget = flag.Uint64("budget", 0, "override instruction budget per workload")
+		slice  = flag.Uint64("slice", 0, "override slice length")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *slice > 0 {
+		cfg.SliceLen = *slice
+	}
+
+	runners := experiments.All()
+	if *run != "all" {
+		r, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *run)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		artifact := r.Run(cfg)
+		fmt.Print(artifact.String())
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,163 @@
+// Package btb models the front-end target-prediction structures that
+// accompany a direction predictor in a real BPU: a set-associative
+// branch target buffer for taken branches and indirect jumps, and a
+// return address stack for call/return pairs. The pipeline model charges
+// a fetch bubble when a taken branch's target is not known at fetch —
+// a cost ChampSim models and IPC studies inherit.
+package btb
+
+import "branchlab/internal/trace"
+
+// Config sizes the structures.
+type Config struct {
+	Sets int // BTB sets (power of two)
+	Ways int // BTB associativity
+	RAS  int // return-address-stack depth
+}
+
+// DefaultConfig matches a Skylake-class front end: 4K-entry 8-way BTB,
+// 32-deep RAS.
+func DefaultConfig() Config { return Config{Sets: 512, Ways: 8, RAS: 32} }
+
+type entry struct {
+	tag    uint64
+	target uint64
+	lru    uint64
+	valid  bool
+}
+
+// Stats counts lookups and outcomes.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64
+	TargetMiss uint64 // hit, but stale target
+	Misses     uint64
+	RASCorrect uint64
+	RASWrong   uint64
+}
+
+// BTB is the combined target predictor.
+type BTB struct {
+	cfg   Config
+	table []entry
+	clock uint64
+	ras   []uint64
+	rasSP int
+	stats Stats
+}
+
+// New returns a BTB/RAS pair for the configuration.
+func New(cfg Config) *BTB {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic("btb: non-positive geometry")
+	}
+	// Round sets to a power of two.
+	sets := 1
+	for sets*2 <= cfg.Sets {
+		sets *= 2
+	}
+	cfg.Sets = sets
+	return &BTB{
+		cfg:   cfg,
+		table: make([]entry, cfg.Sets*cfg.Ways),
+		ras:   make([]uint64, 0, cfg.RAS),
+	}
+}
+
+// Stats returns accumulated counters.
+func (b *BTB) Stats() Stats { return b.stats }
+
+func (b *BTB) set(ip uint64) int {
+	h := ip >> 2
+	h ^= h >> 13
+	return int(h) & (b.cfg.Sets - 1)
+}
+
+// Lookup predicts the target of the control-flow instruction at ip,
+// before its outcome is known. It returns (target, true) on a BTB or RAS
+// hit and (0, false) when the front end would have to stall for the
+// target. Returns consult the RAS; everything else consults the BTB.
+func (b *BTB) Lookup(ip uint64, kind trace.Kind) (uint64, bool) {
+	b.stats.Lookups++
+	if kind == trace.KindRet {
+		if len(b.ras) == 0 {
+			b.stats.Misses++
+			return 0, false
+		}
+		return b.ras[len(b.ras)-1], true
+	}
+	base := b.set(ip) * b.cfg.Ways
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.table[base+w]
+		if e.valid && e.tag == ip {
+			b.clock++
+			e.lru = b.clock
+			b.stats.Hits++
+			return e.target, true
+		}
+	}
+	b.stats.Misses++
+	return 0, false
+}
+
+// Update records the resolved control-flow instruction: calls push the
+// RAS, returns pop it, and every taken branch installs/refreshes its BTB
+// entry. It returns whether the earlier Lookup would have produced the
+// correct target (used by the pipeline to charge redirect bubbles).
+func (b *BTB) Update(ip, target uint64, kind trace.Kind, taken bool, predicted uint64, hit bool) bool {
+	switch kind {
+	case trace.KindCall:
+		b.push(ip + 4)
+	case trace.KindRet:
+		correct := hit && predicted == target
+		if len(b.ras) > 0 {
+			b.ras = b.ras[:len(b.ras)-1]
+		}
+		if correct {
+			b.stats.RASCorrect++
+		} else {
+			b.stats.RASWrong++
+		}
+		return correct
+	}
+	if !taken {
+		// Not-taken branches need no target; the fall-through is known.
+		return true
+	}
+	correct := hit && predicted == target
+	if hit && predicted != target {
+		b.stats.TargetMiss++
+	}
+	b.install(ip, target)
+	return correct
+}
+
+func (b *BTB) push(ret uint64) {
+	if len(b.ras) >= b.cfg.RAS {
+		// Overflow drops the oldest entry, as hardware stacks do.
+		copy(b.ras, b.ras[1:])
+		b.ras = b.ras[:len(b.ras)-1]
+	}
+	b.ras = append(b.ras, ret)
+}
+
+func (b *BTB) install(ip, target uint64) {
+	base := b.set(ip) * b.cfg.Ways
+	victim := base
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.table[base+w]
+		if e.valid && e.tag == ip {
+			victim = base + w
+			break
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lru < b.table[victim].lru {
+			victim = base + w
+		}
+	}
+	b.clock++
+	b.table[victim] = entry{tag: ip, target: target, lru: b.clock, valid: true}
+}

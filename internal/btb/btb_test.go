@@ -1,0 +1,127 @@
+package btb
+
+import (
+	"testing"
+
+	"branchlab/internal/trace"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	b := New(DefaultConfig())
+	if _, ok := b.Lookup(0x400, trace.KindCondBr); ok {
+		t.Fatal("cold BTB hit")
+	}
+	b.Update(0x400, 0x900, trace.KindCondBr, true, 0, false)
+	target, ok := b.Lookup(0x400, trace.KindCondBr)
+	if !ok || target != 0x900 {
+		t.Errorf("after install: target=%#x ok=%v", target, ok)
+	}
+}
+
+func TestNotTakenNeedsNoTarget(t *testing.T) {
+	b := New(DefaultConfig())
+	if !b.Update(0x400, 0x900, trace.KindCondBr, false, 0, false) {
+		t.Error("not-taken branch should never charge a target miss")
+	}
+}
+
+func TestTargetChangeDetected(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Update(0x400, 0x900, trace.KindIndirect, true, 0, false)
+	pred, ok := b.Lookup(0x400, trace.KindIndirect)
+	if !ok || pred != 0x900 {
+		t.Fatal("install failed")
+	}
+	// The indirect branch now jumps elsewhere: the stale prediction must
+	// be reported wrong and the entry retrained.
+	if b.Update(0x400, 0xA00, trace.KindIndirect, true, pred, ok) {
+		t.Error("stale target accepted as correct")
+	}
+	if pred, _ := b.Lookup(0x400, trace.KindIndirect); pred != 0xA00 {
+		t.Errorf("entry not retrained: %#x", pred)
+	}
+	if b.Stats().TargetMiss == 0 {
+		t.Error("target miss not counted")
+	}
+}
+
+func TestRASPairing(t *testing.T) {
+	b := New(DefaultConfig())
+	// call at 0x100 -> return address 0x104.
+	b.Update(0x100, 0x8000, trace.KindCall, true, 0, false)
+	pred, ok := b.Lookup(0x8040, trace.KindRet)
+	if !ok || pred != 0x104 {
+		t.Fatalf("RAS predicted %#x, want 0x104", pred)
+	}
+	if !b.Update(0x8040, 0x104, trace.KindRet, true, pred, ok) {
+		t.Error("correct return flagged wrong")
+	}
+	if b.Stats().RASCorrect != 1 {
+		t.Errorf("RASCorrect = %d", b.Stats().RASCorrect)
+	}
+}
+
+func TestRASNesting(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Update(0x100, 0x8000, trace.KindCall, true, 0, false)
+	b.Update(0x8000, 0x9000, trace.KindCall, true, 0, false)
+	// Inner return first.
+	pred, ok := b.Lookup(0x9040, trace.KindRet)
+	if pred != 0x8004 {
+		t.Errorf("inner return predicted %#x", pred)
+	}
+	b.Update(0x9040, 0x8004, trace.KindRet, true, pred, ok)
+	pred, _ = b.Lookup(0x8040, trace.KindRet)
+	if pred != 0x104 {
+		t.Errorf("outer return predicted %#x", pred)
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RAS = 2
+	b := New(cfg)
+	b.Update(0x100, 0x8000, trace.KindCall, true, 0, false) // ret 0x104 (dropped)
+	b.Update(0x200, 0x8000, trace.KindCall, true, 0, false) // ret 0x204
+	b.Update(0x300, 0x8000, trace.KindCall, true, 0, false) // ret 0x304
+	pred, _ := b.Lookup(0x8040, trace.KindRet)
+	if pred != 0x304 {
+		t.Errorf("top of stack = %#x, want 0x304", pred)
+	}
+	b.Update(0x8040, 0x304, trace.KindRet, true, pred, true)
+	pred, _ = b.Lookup(0x8040, trace.KindRet)
+	if pred != 0x204 {
+		t.Errorf("next = %#x, want 0x204", pred)
+	}
+}
+
+func TestEmptyRASMisses(t *testing.T) {
+	b := New(DefaultConfig())
+	if _, ok := b.Lookup(0x8040, trace.KindRet); ok {
+		t.Error("empty RAS produced a prediction")
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	cfg := Config{Sets: 1, Ways: 2, RAS: 4}
+	b := New(cfg)
+	b.Update(0x100, 0x1, trace.KindJump, true, 0, false)
+	b.Update(0x200, 0x2, trace.KindJump, true, 0, false)
+	b.Lookup(0x100, trace.KindJump) // touch 0x100: 0x200 becomes LRU
+	b.Update(0x300, 0x3, trace.KindJump, true, 0, false)
+	if _, ok := b.Lookup(0x200, trace.KindJump); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := b.Lookup(0x100, trace.KindJump); !ok {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero ways")
+		}
+	}()
+	New(Config{Sets: 4, Ways: 0})
+}

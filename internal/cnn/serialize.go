@@ -1,0 +1,175 @@
+package cnn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization implements the §V-D deployment story: once helpers are
+// trained offline, "the predictors' model parameters (e.g., network
+// weights in the case of a CNN) could be stored as application metadata,
+// e.g., under a new segment type in an ELF binary", loaded onto the BPU
+// by the OS at program start. The format stores only the quantized
+// deployment weights — the 2-bit magnitudes plus their scale factors —
+// not the float training state.
+//
+// Format ("BLH1"):
+//
+//	magic    [4]byte "BLH1"
+//	config   histLen, buckets, filters, segments (uvarint each)
+//	bias     float32 bits (uvarint)
+//	scale2   float32 bits (uvarint)
+//	q2       segments*filters bytes (int8 + 2)
+//	scale1   2*buckets float32 bits (uvarint each)
+//	q1       2*buckets rows of filters bytes (int8 + 2)
+
+var helperMagic = [4]byte{'B', 'L', 'H', '1'}
+
+// ErrBadHelperFile is returned when decoding a stream that is not a
+// serialized helper model.
+var ErrBadHelperFile = errors.New("cnn: bad magic (not a BLH1 helper model)")
+
+// WriteTo serializes the quantized model. It fails if the model has not
+// been trained (there is nothing deployable to write).
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	if !m.quantized {
+		return 0, errors.New("cnn: model not trained/quantized; nothing to serialize")
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		k, err := bw.Write(p)
+		n += int64(k)
+		return err
+	}
+	if err := write(helperMagic[:]); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		return write(buf[:k])
+	}
+	putF32 := func(f float32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], floatBits(f))
+		return write(b[:])
+	}
+	for _, v := range []uint64{
+		uint64(m.Cfg.HistLen), uint64(m.Cfg.Buckets),
+		uint64(m.Cfg.Filters), uint64(m.Cfg.Segments),
+	} {
+		if err := putUv(v); err != nil {
+			return n, err
+		}
+	}
+	if err := putF32(m.b); err != nil {
+		return n, err
+	}
+	if err := putF32(m.scale2); err != nil {
+		return n, err
+	}
+	q2b := make([]byte, len(m.q2))
+	for i, q := range m.q2 {
+		q2b[i] = byte(q + 2)
+	}
+	if err := write(q2b); err != nil {
+		return n, err
+	}
+	for i, row := range m.q1 {
+		if err := putF32(m.scale1[i]); err != nil {
+			return n, err
+		}
+		rb := make([]byte, len(row))
+		for j, q := range row {
+			rb[j] = byte(q + 2)
+		}
+		if err := write(rb); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel deserializes a helper model written by WriteTo. The returned
+// model predicts with the stored quantized weights; it cannot be further
+// trained (the float state is not persisted).
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr != helperMagic {
+		return nil, ErrBadHelperFile
+	}
+	readUv := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readF32 := func() (float32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return floatFrom(binary.LittleEndian.Uint32(b[:])), nil
+	}
+	var cfg Config
+	vals := make([]uint64, 4)
+	for i := range vals {
+		v, err := readUv()
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	cfg.HistLen, cfg.Buckets = int(vals[0]), int(vals[1])
+	cfg.Filters, cfg.Segments = int(vals[2]), int(vals[3])
+	if cfg.HistLen <= 0 || cfg.Buckets <= 0 || cfg.Filters <= 0 || cfg.Segments <= 0 ||
+		cfg.HistLen > 1<<16 || cfg.Buckets > 1<<20 || cfg.Filters > 1<<12 || cfg.Segments > 1<<12 {
+		return nil, fmt.Errorf("cnn: implausible helper geometry %+v", cfg)
+	}
+	m := &Model{Cfg: cfg, quantized: true}
+	var err error
+	if m.b, err = readF32(); err != nil {
+		return nil, err
+	}
+	if m.scale2, err = readF32(); err != nil {
+		return nil, err
+	}
+	q2b := make([]byte, cfg.Segments*cfg.Filters)
+	if _, err := io.ReadFull(br, q2b); err != nil {
+		return nil, err
+	}
+	m.q2 = make([]int8, len(q2b))
+	for i, b := range q2b {
+		m.q2[i] = int8(b) - 2
+		if m.q2[i] < -2 || m.q2[i] > 2 {
+			return nil, fmt.Errorf("cnn: weight level %d out of range", m.q2[i])
+		}
+	}
+	rows := 2 * cfg.Buckets
+	m.scale1 = make([]float32, rows)
+	m.q1 = make([][]int8, rows)
+	rb := make([]byte, cfg.Filters)
+	for i := 0; i < rows; i++ {
+		if m.scale1[i], err = readF32(); err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, rb); err != nil {
+			return nil, err
+		}
+		m.q1[i] = make([]int8, cfg.Filters)
+		for j, b := range rb {
+			m.q1[i][j] = int8(b) - 2
+			if m.q1[i][j] < -2 || m.q1[i][j] > 2 {
+				return nil, fmt.Errorf("cnn: weight level %d out of range", m.q1[i][j])
+			}
+		}
+	}
+	return m, nil
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+func floatFrom(u uint32) float32 { return math.Float32frombits(u) }

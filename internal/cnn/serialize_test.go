@@ -1,0 +1,79 @@
+package cnn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func trainedModel(t *testing.T) (*Model, []Sample) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	samples := collect(t, cfg, 2, 150000)
+	m := NewModel(cfg)
+	m.Train(samples)
+	return m, samples
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m, samples := trainedModel(t)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatalf("ReadModel: %v", err)
+	}
+	// Only the deployment geometry persists; training hyperparameters
+	// (Epochs, LR, Seed) are not part of the shipped metadata.
+	if got.Cfg.HistLen != m.Cfg.HistLen || got.Cfg.Buckets != m.Cfg.Buckets ||
+		got.Cfg.Filters != m.Cfg.Filters || got.Cfg.Segments != m.Cfg.Segments {
+		t.Errorf("geometry mismatch: %+v vs %+v", got.Cfg, m.Cfg)
+	}
+	// The deployed model must make identical predictions.
+	for i, s := range samples {
+		if i >= 2000 {
+			break
+		}
+		if got.Predict(s.Slots) != m.Predict(s.Slots) {
+			t.Fatalf("prediction diverges at sample %d", i)
+		}
+	}
+}
+
+func TestSerializeCompact(t *testing.T) {
+	m, _ := trainedModel(t)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 2-bit weights + per-row scales: 2*Buckets rows of (4B scale +
+	// Filters bytes) plus the output layer. Far smaller than float32
+	// weights would be; this is the "application metadata" footprint.
+	maxBytes := 2*m.Cfg.Buckets*(4+m.Cfg.Filters) + m.Cfg.Segments*m.Cfg.Filters + 64
+	if buf.Len() > maxBytes {
+		t.Errorf("serialized model %dB exceeds bound %dB", buf.Len(), maxBytes)
+	}
+}
+
+func TestSerializeUntrainedFails(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err == nil {
+		t.Error("untrained model serialized")
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("NOPEnope"))); err != ErrBadHelperFile {
+		t.Errorf("garbage accepted: %v", err)
+	}
+	// Truncated stream after a valid header.
+	m, _ := trainedModel(t)
+	var buf bytes.Buffer
+	m.WriteTo(&buf)
+	if _, err := ReadModel(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Error("truncated model accepted")
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import "sort"
+
+// Criteria are the paper's H2P screening thresholds (§III-A): a branch in
+// a slice is an H2P if its accuracy is below MaxAccuracy, it executed at
+// least MinExecs times, and it produced at least MinMispreds
+// mispredictions. The published numbers are defined per 30M-instruction
+// slice; Scaled preserves the rates at other slice lengths.
+type Criteria struct {
+	MaxAccuracy float64
+	MinExecs    uint64
+	MinMispreds uint64
+	SliceLen    uint64 // slice length the thresholds are calibrated for
+}
+
+// PaperCriteria returns the thresholds exactly as published: accuracy
+// < 0.99, >= 15,000 executions and >= 1,000 mispredictions per
+// 30M-instruction slice.
+func PaperCriteria() Criteria {
+	return Criteria{MaxAccuracy: 0.99, MinExecs: 15000, MinMispreds: 1000, SliceLen: 30_000_000}
+}
+
+// Scaled returns the criteria adjusted to a different slice length,
+// scaling the count thresholds linearly (the thresholds are rates in
+// disguise: 0.5 executions and ~0.033 mispredictions per 1k
+// instructions).
+func (c Criteria) Scaled(sliceLen uint64) Criteria {
+	if sliceLen == 0 || sliceLen == c.SliceLen {
+		return c
+	}
+	ratio := float64(sliceLen) / float64(c.SliceLen)
+	s := c
+	s.SliceLen = sliceLen
+	s.MinExecs = uint64(float64(c.MinExecs) * ratio)
+	s.MinMispreds = uint64(float64(c.MinMispreds) * ratio)
+	if s.MinExecs < 16 {
+		s.MinExecs = 16
+	}
+	if s.MinMispreds < 4 {
+		s.MinMispreds = 4
+	}
+	return s
+}
+
+// H2PsInSlice returns the branch IPs qualifying as H2Ps in one slice.
+func (c Criteria) H2PsInSlice(s *SliceStats) []uint64 {
+	var out []uint64
+	for ip, b := range s.PerBranch {
+		if b.Accuracy() < c.MaxAccuracy && b.Execs >= c.MinExecs && b.Mispreds >= c.MinMispreds {
+			out = append(out, ip)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Screen applies the criteria to every slice of a collector and returns
+// the aggregate H2P report.
+func (c Criteria) Screen(col *Collector) *H2PReport {
+	r := &H2PReport{
+		Criteria:   c,
+		SliceCount: len(col.Slices),
+		PerSlice:   make([][]uint64, len(col.Slices)),
+		Slices:     make(map[uint64]int),
+	}
+	for i, s := range col.Slices {
+		ips := c.H2PsInSlice(s)
+		r.PerSlice[i] = ips
+		for _, ip := range ips {
+			r.Slices[ip]++
+		}
+	}
+	r.totals = col.Totals()
+	for _, s := range col.Slices {
+		r.allMispreds += s.Mispreds
+		r.allCondExecs += s.CondExecs
+	}
+	return r
+}
+
+// H2PReport aggregates screening results over a run.
+type H2PReport struct {
+	Criteria   Criteria
+	SliceCount int
+	// PerSlice lists qualifying IPs per slice.
+	PerSlice [][]uint64
+	// Slices counts, per IP, the number of slices in which it qualified.
+	Slices map[uint64]int
+
+	totals       map[uint64]*BranchStats
+	allMispreds  uint64
+	allCondExecs uint64
+}
+
+// Set returns all IPs that qualified in at least one slice.
+func (r *H2PReport) Set() map[uint64]bool {
+	out := make(map[uint64]bool, len(r.Slices))
+	for ip := range r.Slices {
+		out[ip] = true
+	}
+	return out
+}
+
+// AvgPerSlice returns the mean number of H2Ps per slice (Table I "Avg per
+// Slice").
+func (r *H2PReport) AvgPerSlice() float64 {
+	if r.SliceCount == 0 {
+		return 0
+	}
+	total := 0
+	for _, ips := range r.PerSlice {
+		total += len(ips)
+	}
+	return float64(total) / float64(r.SliceCount)
+}
+
+// MispredShare returns the fraction of all mispredictions caused by the
+// H2P set (Table I "% Mispreds due to H2Ps").
+func (r *H2PReport) MispredShare() float64 {
+	if r.allMispreds == 0 {
+		return 0
+	}
+	var h2p uint64
+	for ip := range r.Slices {
+		h2p += r.totals[ip].Mispreds
+	}
+	return float64(h2p) / float64(r.allMispreds)
+}
+
+// AvgExecsPerH2PPerSlice returns mean dynamic executions per H2P per
+// slice (Table I "Avg. Dyn. Execs per H2P per Slice").
+func (r *H2PReport) AvgExecsPerH2PPerSlice() float64 {
+	if len(r.Slices) == 0 || r.SliceCount == 0 {
+		return 0
+	}
+	var execs uint64
+	for ip := range r.Slices {
+		execs += r.totals[ip].Execs
+	}
+	return float64(execs) / float64(len(r.Slices)) / float64(r.SliceCount)
+}
+
+// HeavyHitter is one H2P ranked by dynamic execution count.
+type HeavyHitter struct {
+	IP       uint64
+	Execs    uint64
+	Mispreds uint64
+	// CumMispredFrac is the cumulative fraction of ALL mispredictions
+	// covered by this and higher-ranked H2Ps (Fig 2's y-axis).
+	CumMispredFrac float64
+}
+
+// HeavyHitters ranks the H2P set by total dynamic executions and computes
+// the cumulative misprediction coverage of Fig 2.
+func (r *H2PReport) HeavyHitters() []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(r.Slices))
+	for ip := range r.Slices {
+		t := r.totals[ip]
+		out = append(out, HeavyHitter{IP: ip, Execs: t.Execs, Mispreds: t.Mispreds})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Execs != out[j].Execs {
+			return out[i].Execs > out[j].Execs
+		}
+		return out[i].IP < out[j].IP
+	})
+	var cum uint64
+	for i := range out {
+		cum += out[i].Mispreds
+		if r.allMispreds > 0 {
+			out[i].CumMispredFrac = float64(cum) / float64(r.allMispreds)
+		}
+	}
+	return out
+}
+
+// CrossInput aggregates H2P appearance over multiple inputs of one
+// workload (Table I "H2P Appearance Across Inputs").
+type CrossInput struct {
+	// InputsPerH2P counts, per IP, how many inputs screened it as an H2P.
+	InputsPerH2P map[uint64]int
+	// PerInput holds each input's H2P set size.
+	PerInput []int
+}
+
+// Aggregate combines per-input H2P reports.
+func Aggregate(reports []*H2PReport) *CrossInput {
+	c := &CrossInput{InputsPerH2P: make(map[uint64]int)}
+	for _, r := range reports {
+		set := r.Set()
+		c.PerInput = append(c.PerInput, len(set))
+		for ip := range set {
+			c.InputsPerH2P[ip]++
+		}
+	}
+	return c
+}
+
+// Total returns the number of distinct H2Ps over all inputs.
+func (c *CrossInput) Total() int { return len(c.InputsPerH2P) }
+
+// AppearingIn returns how many H2Ps appear in at least k inputs.
+func (c *CrossInput) AppearingIn(k int) int {
+	n := 0
+	for _, cnt := range c.InputsPerH2P {
+		if cnt >= k {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgPerInput returns the mean H2P set size per input.
+func (c *CrossInput) AvgPerInput() float64 {
+	if len(c.PerInput) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range c.PerInput {
+		total += n
+	}
+	return float64(total) / float64(len(c.PerInput))
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"branchlab/internal/trace"
+)
+
+// RegValueTracker reproduces the Fig 10 methodology: for every dynamic
+// execution of a target branch, record the value most recently written to
+// each of the tracked registers (the paper tracks 18 and keeps the low 32
+// bits).
+type RegValueTracker struct {
+	Target   uint64
+	FirstReg uint8 // first tracked register
+	NumRegs  uint8 // number of tracked registers (paper: 18)
+
+	lastValue [trace.NumRegs]uint32
+	lastValid [trace.NumRegs]bool
+
+	// counts maps reg<<32|value to occurrences.
+	counts map[uint64]uint64
+	execs  uint64
+}
+
+// NewRegValueTracker tracks registers [first, first+n) before executions
+// of target.
+func NewRegValueTracker(target uint64, first, n uint8) *RegValueTracker {
+	if int(first)+int(n) > trace.NumRegs {
+		panic("core: tracked register range out of bounds")
+	}
+	return &RegValueTracker{
+		Target:   target,
+		FirstReg: first,
+		NumRegs:  n,
+		counts:   make(map[uint64]uint64),
+	}
+}
+
+// Inst implements Observer: it shadows the architectural register file's
+// most recent writes and snapshots them at each target execution.
+func (t *RegValueTracker) Inst(_ uint64, inst *trace.Inst) {
+	if inst.DstReg != trace.NoReg {
+		t.lastValue[inst.DstReg] = uint32(inst.DstValue)
+		t.lastValid[inst.DstReg] = true
+	}
+	if inst.Kind == trace.KindCondBr && inst.IP == t.Target {
+		t.execs++
+		for r := t.FirstReg; r < t.FirstReg+t.NumRegs; r++ {
+			if t.lastValid[r] {
+				t.counts[uint64(r)<<32|uint64(t.lastValue[r])]++
+			}
+		}
+	}
+}
+
+// Branch implements Observer.
+func (t *RegValueTracker) Branch(uint64, *trace.Inst, bool) {}
+
+// Execs returns how many target executions were observed.
+func (t *RegValueTracker) Execs() uint64 { return t.execs }
+
+// RegValue is one (register, value) point with its occurrence count, a
+// data point of Fig 10.
+type RegValue struct {
+	Reg   uint8
+	Value uint32
+	Count uint64
+}
+
+// Points returns all observed (register, value, count) triples sorted by
+// register then value.
+func (t *RegValueTracker) Points() []RegValue {
+	out := make([]RegValue, 0, len(t.counts))
+	for k, c := range t.counts {
+		out = append(out, RegValue{Reg: uint8(k >> 32), Value: uint32(k), Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reg != out[j].Reg {
+			return out[i].Reg < out[j].Reg
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// DistinctValues returns the number of distinct values seen for reg.
+func (t *RegValueTracker) DistinctValues(reg uint8) int {
+	n := 0
+	for k := range t.counts {
+		if uint8(k>>32) == reg {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+package depgraph
+
+import (
+	"testing"
+
+	"branchlab/internal/trace"
+)
+
+const (
+	rTarget = 10 // register read by the target branch
+	rOther  = 11
+)
+
+func alu(ip uint64, dst uint8, srcs ...uint8) trace.Inst {
+	inst := trace.Inst{IP: ip, Kind: trace.KindALU, DstReg: dst,
+		SrcRegs: [2]uint8{trace.NoReg, trace.NoReg}}
+	for i, s := range srcs {
+		inst.SrcRegs[i] = s
+	}
+	return inst
+}
+
+func condbr(ip uint64, srcs ...uint8) trace.Inst {
+	inst := trace.Inst{IP: ip, Kind: trace.KindCondBr, Taken: true, Target: ip + 64,
+		DstReg: trace.NoReg, SrcRegs: [2]uint8{trace.NoReg, trace.NoReg}}
+	for i, s := range srcs {
+		inst.SrcRegs[i] = s
+	}
+	return inst
+}
+
+func feed(a *Analyzer, insts []trace.Inst) {
+	for i := range insts {
+		a.Inst(uint64(i), &insts[i])
+	}
+}
+
+func TestDirectDependencyDetected(t *testing.T) {
+	// def r10; dep branch reads r10; unrelated branch; target reads r10.
+	insts := []trace.Inst{
+		alu(0x10, rTarget),
+		condbr(0xD0, rTarget), // dependency branch, position 2
+		condbr(0xE0, rOther),  // unrelated branch, position 1
+		condbr(0xAA, rTarget), // target
+	}
+	a := New(100, 0, 0xAA)
+	feed(a, insts)
+	sum := a.Summarize(0xAA)
+	if sum.Execs != 1 || sum.Analyzed != 1 {
+		t.Fatalf("execs/analyzed = %d/%d", sum.Execs, sum.Analyzed)
+	}
+	if sum.DepBranches != 1 {
+		t.Fatalf("DepBranches = %d, want 1 (0xE0 reads an unrelated value)", sum.DepBranches)
+	}
+	pos := a.Positions(0xAA)
+	if len(pos) != 1 || pos[0].DepIP != 0xD0 || pos[0].Pos != 2 || pos[0].Count != 1 {
+		t.Errorf("positions = %+v", pos)
+	}
+}
+
+func TestTransitiveDependencyThroughALU(t *testing.T) {
+	// def r11; branch reads r11; r10 = f(r11); target reads r10.
+	// The branch reads a value in the transitive closure of the target's
+	// operand, so it is a dependency branch.
+	insts := []trace.Inst{
+		alu(0x10, rOther),
+		condbr(0xD0, rOther),
+		alu(0x14, rTarget, rOther),
+		condbr(0xAA, rTarget),
+	}
+	a := New(100, 0, 0xAA)
+	feed(a, insts)
+	if got := a.Summarize(0xAA).DepBranches; got != 1 {
+		t.Errorf("transitive dependency missed: DepBranches = %d", got)
+	}
+}
+
+func TestDependencyThroughMemory(t *testing.T) {
+	// store r11 -> addr; branch reads r11; load addr -> r10; target
+	// reads r10. The chain flows through memory.
+	store := trace.Inst{IP: 0x20, Kind: trace.KindStore, MemAddr: 0x800,
+		DstReg: trace.NoReg, SrcRegs: [2]uint8{rOther, trace.NoReg}}
+	load := trace.Inst{IP: 0x24, Kind: trace.KindLoad, MemAddr: 0x800,
+		DstReg: rTarget, SrcRegs: [2]uint8{trace.NoReg, trace.NoReg}}
+	insts := []trace.Inst{
+		alu(0x10, rOther),
+		condbr(0xD0, rOther),
+		store,
+		load,
+		condbr(0xAA, rTarget),
+	}
+	a := New(100, 0, 0xAA)
+	feed(a, insts)
+	if got := a.Summarize(0xAA).DepBranches; got != 1 {
+		t.Errorf("memory-carried dependency missed: DepBranches = %d", got)
+	}
+}
+
+func TestRedefinitionBreaksDependency(t *testing.T) {
+	// A branch reads r10's OLD value; r10 is then redefined from an
+	// unrelated source before the target reads it. The old-value reader
+	// is NOT a dependency branch.
+	insts := []trace.Inst{
+		alu(0x10, rTarget),    // old def
+		condbr(0xD0, rTarget), // reads old value
+		alu(0x14, rTarget),    // fresh def, no sources
+		condbr(0xAA, rTarget), // target reads fresh value
+	}
+	a := New(100, 0, 0xAA)
+	feed(a, insts)
+	if got := a.Summarize(0xAA).DepBranches; got != 0 {
+		t.Errorf("stale-value reader misclassified: DepBranches = %d", got)
+	}
+}
+
+func TestVariablePositionsAccumulate(t *testing.T) {
+	// The same dependency branch appears at different history positions
+	// across executions (the Fig 6 phenomenon).
+	var insts []trace.Inst
+	for rep := 0; rep < 10; rep++ {
+		insts = append(insts, alu(0x10, rTarget))
+		insts = append(insts, condbr(0xD0, rTarget))
+		for j := 0; j < rep%4; j++ { // variable-length noise
+			insts = append(insts, condbr(0xE0, rOther))
+		}
+		insts = append(insts, condbr(0xAA, rTarget))
+	}
+	a := New(100, 0, 0xAA)
+	feed(a, insts)
+	sum := a.Summarize(0xAA)
+	if sum.DepBranches < 1 {
+		t.Fatal("dependency branch not found")
+	}
+	positions := map[int]bool{}
+	for _, p := range a.Positions(0xAA) {
+		if p.DepIP == 0xD0 {
+			positions[p.Pos] = true
+		}
+	}
+	if len(positions) < 3 {
+		t.Errorf("dependency branch seen at %d distinct positions, want >= 3 (variable gap)", len(positions))
+	}
+	if sum.MinPos >= sum.MaxPos {
+		t.Errorf("min/max positions: %d/%d", sum.MinPos, sum.MaxPos)
+	}
+}
+
+func TestWindowBoundsLookback(t *testing.T) {
+	// A def + dependency branch far outside the window must not count.
+	var insts []trace.Inst
+	insts = append(insts, alu(0x10, rTarget))
+	insts = append(insts, condbr(0xD0, rTarget))
+	for i := 0; i < 200; i++ {
+		insts = append(insts, alu(0x50, rOther)) // filler redefining nothing relevant
+	}
+	insts = append(insts, condbr(0xAA, rTarget))
+	a := New(50, 0, 0xAA) // window much smaller than the gap
+	feed(a, insts)
+	if got := a.Summarize(0xAA).DepBranches; got != 0 {
+		t.Errorf("window not respected: DepBranches = %d", got)
+	}
+}
+
+func TestMaxSamplesBoundsWork(t *testing.T) {
+	var insts []trace.Inst
+	for rep := 0; rep < 50; rep++ {
+		insts = append(insts, alu(0x10, rTarget))
+		insts = append(insts, condbr(0xAA, rTarget))
+	}
+	a := New(100, 5, 0xAA)
+	feed(a, insts)
+	sum := a.Summarize(0xAA)
+	if sum.Execs != 50 {
+		t.Errorf("Execs = %d", sum.Execs)
+	}
+	if sum.Analyzed != 5 {
+		t.Errorf("Analyzed = %d, want 5", sum.Analyzed)
+	}
+}
+
+func TestUnknownTargetSummary(t *testing.T) {
+	a := New(10, 0, 0xAA)
+	sum := a.Summarize(0xBB)
+	if sum.Execs != 0 || sum.DepBranches != 0 {
+		t.Errorf("unknown target summary: %+v", sum)
+	}
+	if a.Positions(0xBB) != nil {
+		t.Error("unknown target positions should be nil")
+	}
+}
+
+func TestMultipleTargetsIndependent(t *testing.T) {
+	insts := []trace.Inst{
+		alu(0x10, rTarget),
+		condbr(0xD0, rTarget),
+		condbr(0xAA, rTarget), // target 1: dep at 0xD0
+		alu(0x14, rOther),
+		condbr(0xE0, rOther),
+		condbr(0xBB, rOther), // target 2: dep at 0xE0
+	}
+	a := New(100, 0, 0xAA, 0xBB)
+	feed(a, insts)
+	p1 := a.Positions(0xAA)
+	p2 := a.Positions(0xBB)
+	if len(p1) == 0 || p1[0].DepIP != 0xD0 {
+		t.Errorf("target 1 positions: %+v", p1)
+	}
+	foundE0 := false
+	for _, p := range p2 {
+		if p.DepIP == 0xE0 {
+			foundE0 = true
+		}
+		if p.DepIP == 0xD0 {
+			t.Error("target 2 must not inherit target 1's dependency (value was redefined)")
+		}
+	}
+	if !foundE0 {
+		t.Errorf("target 2 positions: %+v", p2)
+	}
+}

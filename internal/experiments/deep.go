@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"branchlab/internal/core"
+	"branchlab/internal/depgraph"
+	"branchlab/internal/phase"
+	"branchlab/internal/report"
+	"branchlab/internal/tage"
+	"branchlab/internal/workload"
+)
+
+// topHeavyHitter screens a trace and returns the top H2P by dynamic
+// executions (0 if none).
+func topHeavyHitter(s *workload.Spec, cfg Config) uint64 {
+	tr := s.Record(0, cfg.Budget)
+	rep, _ := screenH2Ps(tr, cfg.SliceLen)
+	hh := rep.HeavyHitters()
+	if len(hh) == 0 {
+		return 0
+	}
+	return hh[0].IP
+}
+
+// Table3 reproduces Table III: for the top H2P heavy hitter of each
+// SPECint-like benchmark, the number of distinct dependency branches and
+// the minimum/maximum global-history positions at which they appear.
+func Table3(cfg Config) *report.Artifact {
+	a := &report.Artifact{ID: "table3", Title: "Dependency branches of top H2P heavy hitters (5000-instruction window)"}
+	tab := report.NewTable("", "benchmark", "target", "dep branches", "min pos", "max pos", "positions/dep")
+	for _, s := range workload.SPECint2017Like() {
+		target := topHeavyHitter(s, cfg)
+		if target == 0 {
+			tab.AddRow(s.Name, "-", "0", "-", "-", "-")
+			continue
+		}
+		an := depgraph.New(depgraph.DefaultWindow, 4000, target)
+		tr := s.Record(0, cfg.Budget)
+		core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
+		sum := an.Summarize(target)
+		tab.AddRow(s.Name, fmt.Sprintf("%#x", target), d(sum.DepBranches),
+			d(sum.MinPos), d(sum.MaxPos), f2(sum.PositionsPerDep))
+	}
+	a.Tables = append(a.Tables, tab)
+	a.Notes = append(a.Notes,
+		"paper: dependency counts 3-484; max positions 34-1,879 — within TAGE-SC-L 64KB's 3,000-bit history, yet poorly predicted")
+	return a
+}
+
+// Fig6 reproduces Fig 6: the distribution of history positions at which
+// each dependency branch of a top H2P appears. High spread per dependency
+// branch is the paper's explanation for why exact pattern matching fails.
+func Fig6(cfg Config) *report.Artifact {
+	a := &report.Artifact{ID: "fig6", Title: "History-position distributions of dependency branches"}
+	for _, s := range workload.SPECint2017Like()[:4] {
+		target := topHeavyHitter(s, cfg)
+		if target == 0 {
+			continue
+		}
+		an := depgraph.New(depgraph.DefaultWindow, 4000, target)
+		tr := s.Record(0, cfg.Budget)
+		core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
+		positions := an.Positions(target)
+		// Group by dependency branch.
+		type depStats struct {
+			ip        uint64
+			total     uint64
+			positions []int
+		}
+		byDep := map[uint64]*depStats{}
+		for _, p := range positions {
+			ds := byDep[p.DepIP]
+			if ds == nil {
+				ds = &depStats{ip: p.DepIP}
+				byDep[p.DepIP] = ds
+			}
+			ds.total += p.Count
+			ds.positions = append(ds.positions, p.Pos)
+		}
+		deps := make([]*depStats, 0, len(byDep))
+		for _, ds := range byDep {
+			deps = append(deps, ds)
+		}
+		sort.Slice(deps, func(i, j int) bool { return deps[i].total > deps[j].total })
+		tab := report.NewTable(fmt.Sprintf("%s target %#x", s.Name, target),
+			"dep branch", "occurrences", "distinct positions", "min", "max")
+		for i, ds := range deps {
+			if i >= 8 {
+				break
+			}
+			minP, maxP := ds.positions[0], ds.positions[0]
+			for _, p := range ds.positions {
+				if p < minP {
+					minP = p
+				}
+				if p > maxP {
+					maxP = p
+				}
+			}
+			tab.AddRow(fmt.Sprintf("%#x", ds.ip), u(ds.total), d(len(ds.positions)), d(minP), d(maxP))
+		}
+		a.Tables = append(a.Tables, tab)
+	}
+	a.Notes = append(a.Notes,
+		"each dependency branch appears at many positions with non-uniform recurrence — position-specific correlation cannot pin it down")
+	return a
+}
+
+// Fig9 reproduces Fig 9: the distribution of per-branch median recurrence
+// intervals over the LCF dataset, whose mass at 100K-1M instructions is
+// the paper's evidence for exploitable long-timescale phases.
+func Fig9(cfg Config) *report.Artifact {
+	a := &report.Artifact{ID: "fig9", Title: "Median recurrence interval (MRI) distribution, LCF"}
+	tracker := phase.NewRecurrenceTracker()
+	for _, s := range workload.LCFLike() {
+		tr := s.Record(0, cfg.Budget)
+		core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+	}
+	h := tracker.MRIHistogram()
+	tab := report.NewTable("", "MRI bin", "fraction of static branch IPs")
+	fr := h.Fraction()
+	peak, peakIdx := 0.0, 0
+	for i := range h.Counts {
+		tab.AddRow(h.BinLabel(i), f4(fr[i]))
+		// The paper's peak claim excludes the singleton bin.
+		if i > 0 && fr[i] > peak {
+			peak, peakIdx = fr[i], i
+		}
+	}
+	a.Tables = append(a.Tables, tab)
+	a.Notes = append(a.Notes, fmt.Sprintf(
+		"non-singleton peak at bin %s (paper: 100K-1M at its 30M budget; bins scale with trace length)",
+		h.BinLabel(peakIdx)))
+	return a
+}
+
+// Fig10 reproduces Fig 10: the distribution of values written to the
+// tracked registers immediately before executions of the top H2P of each
+// benchmark — branch-specific, structured distributions that motivate
+// value-aware helper predictors.
+func Fig10(cfg Config) *report.Artifact {
+	a := &report.Artifact{ID: "fig10", Title: "Register values preceding top H2P executions (18 tracked registers)"}
+	for _, s := range workload.SPECint2017Like()[:6] {
+		target := topHeavyHitter(s, cfg)
+		if target == 0 {
+			continue
+		}
+		tracker := core.NewRegValueTracker(target, 8, 18)
+		tr := s.Record(0, cfg.Budget)
+		core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+		pts := tracker.Points()
+		tab := report.NewTable(fmt.Sprintf("%s target %#x (%d executions)", s.Name, target, tracker.Execs()),
+			"register", "distinct values", "top value", "top count")
+		byReg := map[uint8][]core.RegValue{}
+		for _, p := range pts {
+			byReg[p.Reg] = append(byReg[p.Reg], p)
+		}
+		regs := make([]int, 0, len(byReg))
+		for r := range byReg {
+			regs = append(regs, int(r))
+		}
+		sort.Ints(regs)
+		for _, r := range regs {
+			vals := byReg[uint8(r)]
+			top := vals[0]
+			for _, v := range vals {
+				if v.Count > top.Count {
+					top = v
+				}
+			}
+			tab.AddRow(fmt.Sprintf("r%d", r), d(len(vals)),
+				fmt.Sprintf("%d", top.Value), u(top.Count))
+		}
+		a.Tables = append(a.Tables, tab)
+	}
+	a.Notes = append(a.Notes,
+		"distributions differ drastically across branches and carry recognizable structure (clustered values), as in the paper")
+	return a
+}

@@ -1,0 +1,149 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver regenerates its artifact from scratch
+// — workload synthesis, prediction, screening, timing — and returns a
+// report.Artifact whose shape is compared against the published result in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"branchlab/internal/core"
+	"branchlab/internal/pipeline"
+	"branchlab/internal/report"
+	"branchlab/internal/tage"
+	"branchlab/internal/trace"
+	"branchlab/internal/workload"
+)
+
+// Config scales every experiment. The paper's traces are 10B
+// instructions with 30M-instruction slices; these budgets shrink both
+// while core.Criteria.Scaled keeps the screening thresholds equivalent.
+type Config struct {
+	Budget     uint64 // instructions per workload run
+	SliceLen   uint64 // slice length for screening/phases
+	PipeScales []int  // pipeline capacity scaling factors
+	StorageKB  []int  // TAGE-SC-L budgets for the limit study
+	MaxInputs  int    // cap on application inputs per workload
+}
+
+// Default returns the configuration used for EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Budget:     3_000_000,
+		SliceLen:   750_000,
+		PipeScales: []int{1, 2, 4, 8, 16, 32},
+		StorageKB:  []int{8, 64, 128, 256, 512, 1024},
+		MaxInputs:  3,
+	}
+}
+
+// Quick returns a reduced configuration for tests and smoke runs.
+func Quick() Config {
+	return Config{
+		Budget:     400_000,
+		SliceLen:   200_000,
+		PipeScales: []int{1, 4, 16},
+		StorageKB:  []int{8, 64, 1024},
+		MaxInputs:  2,
+	}
+}
+
+// Runner is a named experiment driver.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) *report.Artifact
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "IPC vs pipeline scaling, SPECint-like suite", Fig1},
+		{"table1", "SPECint-like summary statistics", Table1},
+		{"fig2", "Cumulative mispredictions of H2P heavy hitters", Fig2},
+		{"table2", "LCF summary branch statistics", Table2},
+		{"fig3", "LCF distributions: mispredictions, executions, accuracy", Fig3},
+		{"fig4", "Accuracy vs dynamic executions; per-bin stddev", Fig4},
+		{"fig5", "IPC vs pipeline scaling, LCF suite", Fig5},
+		{"table3", "Dependency branches of top H2P heavy hitters", Table3},
+		{"fig6", "History-position distributions of dependency branches", Fig6},
+		{"fig7", "TAGE storage scaling 8KB-1024KB x pipeline scale", Fig7},
+		{"fig8", "IPC opportunity remaining after perfecting frequent branches", Fig8},
+		{"fig9", "Median recurrence interval distribution", Fig9},
+		{"fig10", "Register values preceding top H2P executions", Fig10},
+		{"alloc", "TAGE allocation churn: H2P vs non-H2P (§IV-A)", Alloc},
+		{"cnn", "CNN helper predictors on H2P branches (§V-C)", CNN},
+		{"phasecond", "Extension: phase-conditioned rare-branch statistics (§V-B)", PhaseCond},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// --- shared helpers ----------------------------------------------------
+
+// recordSuite materializes one trace per workload (input 0).
+func recordSuite(specs []*workload.Spec, budget uint64) map[string]*trace.Buffer {
+	out := make(map[string]*trace.Buffer, len(specs))
+	for _, s := range specs {
+		out[s.Name] = s.Record(0, budget)
+	}
+	return out
+}
+
+// screenH2Ps runs TAGE-SC-L 8KB over a trace and returns the screened
+// H2P report plus the collector.
+func screenH2Ps(tr *trace.Buffer, sliceLen uint64) (*core.H2PReport, *core.Collector) {
+	col := core.NewCollector(sliceLen)
+	core.Run(tr.Stream(), tage.New(tage.Config8KB()), col)
+	rep := core.PaperCriteria().Scaled(sliceLen).Screen(col)
+	return rep, col
+}
+
+// ipcRun times a trace on the pipeline at the given scale.
+func ipcRun(tr *trace.Buffer, scale int, opt pipeline.Options) pipeline.Result {
+	return pipeline.New(pipeline.Skylake().Scaled(scale)).Run(tr.Stream(), opt)
+}
+
+func tagePred(kb int) pipeline.Options {
+	return pipeline.Options{Predictor: tage.New(tage.NewConfig(kb))}
+}
+
+// geomean of a slice (positives assumed).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func d(v int) string       { return fmt.Sprintf("%d", v) }
+func u(v uint64) string    { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// sortedIPs returns map keys in ascending order.
+func sortedIPs(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for ip := range m {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

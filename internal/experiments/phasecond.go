@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchlab/internal/bp"
+	"branchlab/internal/core"
+	"branchlab/internal/phase"
+	"branchlab/internal/report"
+	"branchlab/internal/workload"
+)
+
+// PhaseCond prototypes the paper's §V-B proposal: condition branch
+// statistics on on-chip phase recognition so that rare branches whose
+// behaviour is stable within a phase but shifts across phases keep
+// usable statistics. It compares a flat bimodal table against the same
+// table replicated per detected phase, on the LCF suite where rare
+// branches dominate, and reports the accuracy specifically over
+// low-execution-count branches.
+func PhaseCond(cfg Config) *report.Artifact {
+	a := &report.Artifact{ID: "phasecond",
+		Title: "Extension (§V-B): phase-conditioned statistics for rare branches"}
+	tab := report.NewTable("", "application",
+		"flat acc", "conditioned acc", "flat rare-acc", "conditioned rare-acc", "phases")
+
+	// "Cold" here means the sub-1000-execs-per-30M population of Fig 8,
+	// scaled to the configured budget; these branches are too rare for
+	// global history yet frequent enough that per-phase counters train.
+	rareThreshold := uint64(float64(10000) * float64(cfg.Budget) / 30e6)
+	if rareThreshold < 32 {
+		rareThreshold = 32
+	}
+
+	var flatRareSum, condRareSum float64
+	n := 0
+	for _, s := range workload.LCFLike() {
+		tr := s.Record(0, cfg.Budget)
+
+		flatCol := core.NewCollector(cfg.SliceLen)
+		core.Run(tr.Stream(), bp.NewBimodal(14), flatCol)
+
+		cond := phase.NewConditionedPredictor(1024, 16,
+			func() bp.Predictor { return bp.NewBimodal(14) })
+		condCol := core.NewCollector(cfg.SliceLen)
+		core.Run(tr.Stream(), cond, condCol)
+
+		rareAcc := func(col *core.Collector) float64 {
+			var execs, miss uint64
+			for _, b := range col.Totals() {
+				if b.Execs <= rareThreshold {
+					execs += b.Execs
+					miss += b.Mispreds
+				}
+			}
+			if execs == 0 {
+				return 1
+			}
+			return 1 - float64(miss)/float64(execs)
+		}
+		fr, cr := rareAcc(flatCol), rareAcc(condCol)
+		flatRareSum += fr
+		condRareSum += cr
+		n++
+		tab.AddRow(s.Name, f4(flatCol.Accuracy()), f4(condCol.Accuracy()),
+			f4(fr), f4(cr), d(cond.NumPhases()))
+	}
+	a.Tables = append(a.Tables, tab)
+	if n > 0 {
+		a.Notes = append(a.Notes, fmt.Sprintf(
+			"rare-branch (<=%d execs) accuracy: flat %s vs phase-conditioned %s over %d applications",
+			rareThreshold, f4(flatRareSum/float64(n)), f4(condRareSum/float64(n)), n))
+	}
+	a.Notes = append(a.Notes,
+		"this is the paper's proposed direction, not a published figure; bimodal tables isolate the conditioning effect from history-based mechanisms",
+		"boundary result: naive whole-predictor conditioning does not pay at this scale — per-phase cold start eats the gains and the signature detector under-segments LCF phases; internal/phase tests show the win when phases are detectable and per-phase visits are short, matching the paper's note that the deployment mechanics are future work")
+	return a
+}

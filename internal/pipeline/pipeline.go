@@ -1,0 +1,447 @@
+// Package pipeline implements a trace-driven out-of-order core timing
+// model in the style of ChampSim's Skylake configuration, the instrument
+// the paper uses to convert branch prediction accuracy into IPC (Figs 1,
+// 5, 7, 8).
+//
+// The model propagates per-instruction timestamps (fetch, dispatch, issue,
+// complete, retire) under the capacity constraints the paper scales in its
+// pipeline study — fetch/decode/issue/retire width, ROB, scheduler and
+// load/store queues — plus data dependencies through registers and
+// store-to-load forwarding, cache-latency variation, and branch
+// misprediction redirects that restart fetch after the branch resolves.
+// It is O(1) per instruction and deterministic.
+package pipeline
+
+import (
+	"fmt"
+
+	"branchlab/internal/bp"
+	"branchlab/internal/btb"
+	"branchlab/internal/cache"
+	"branchlab/internal/trace"
+)
+
+// Config describes the core. All widths/capacities are per the baseline;
+// use Scaled to produce the paper's 2x-32x configurations.
+type Config struct {
+	Name string
+
+	FetchWidth  int // instructions fetched per cycle
+	IssueWidth  int // instructions entering execution per cycle
+	RetireWidth int // instructions retired per cycle
+
+	ROBSize   int // reorder buffer entries
+	SchedSize int // scheduler (reservation station) entries
+	LQSize    int // load queue entries
+	SQSize    int // store queue entries
+
+	FrontDepth      uint64 // fetch-to-dispatch stages
+	RedirectPenalty uint64 // extra cycles to restart fetch after a mispredict
+
+	// BTBMissPenalty is the decode-redirect bubble charged when a taken
+	// branch's target is not produced by the BTB/RAS at fetch. Zero
+	// disables target-prediction modeling.
+	BTBMissPenalty uint64
+	BTB            btb.Config
+
+	Caches cache.HierarchyConfig
+
+	// Scale factor this config was derived with (1 = baseline).
+	ScaleFactor int
+}
+
+// Skylake returns the baseline configuration, matching ChampSim's Skylake
+// model: 6-wide front end, 224-entry ROB, 97-entry scheduler, 72/56-entry
+// load/store queues.
+func Skylake() Config {
+	return Config{
+		Name:            "skylake-1x",
+		FetchWidth:      6,
+		IssueWidth:      6,
+		RetireWidth:     6,
+		ROBSize:         224,
+		SchedSize:       97,
+		LQSize:          72,
+		SQSize:          56,
+		FrontDepth:      10,
+		RedirectPenalty: 12,
+		BTBMissPenalty:  3,
+		BTB:             btb.DefaultConfig(),
+		Caches:          cache.DefaultHierarchy(),
+		ScaleFactor:     1,
+	}
+}
+
+// Scaled multiplies the pipeline-capacity resources by k, as in the
+// paper's Fig 1 study ("fetch, decode, execution, load/store buffer, ROB,
+// scheduler, and retire resources"). Cache geometry and latencies are
+// intentionally unchanged.
+func (c Config) Scaled(k int) Config {
+	if k < 1 {
+		k = 1
+	}
+	s := c
+	s.Name = fmt.Sprintf("skylake-%dx", k)
+	s.FetchWidth *= k
+	s.IssueWidth *= k
+	s.RetireWidth *= k
+	s.ROBSize *= k
+	s.SchedSize *= k
+	s.LQSize *= k
+	s.SQSize *= k
+	s.ScaleFactor = k
+	return s
+}
+
+// Options selects the prediction regime for a run.
+type Options struct {
+	// Predictor drives speculation; ignored when PerfectBP.
+	Predictor bp.Predictor
+	// PerfectBP models oracle prediction for every conditional branch.
+	PerfectBP bool
+	// PerfectIPs are predicted perfectly regardless of the predictor
+	// ("Perfect H2Ps" in Figs 1 and 5). The predictor is still trained on
+	// these branches so its history state matches the deployment.
+	PerfectIPs map[uint64]bool
+	// MinExecsPerfect, when > 0, perfectly predicts any IP whose dynamic
+	// execution count so far exceeds the threshold (Fig 8's ">1000" and
+	// ">100" oracles).
+	MinExecsPerfect uint64
+	// BranchHook, when non-nil, observes every conditional branch with
+	// its prediction outcome.
+	BranchHook func(ip, target uint64, taken, pred bool)
+}
+
+// Result reports a run's timing and prediction outcomes.
+type Result struct {
+	Insts      uint64
+	Cycles     uint64
+	CondExecs  uint64
+	Mispreds   uint64
+	IPC        float64
+	MPKI       float64
+	L1DMissPKI float64
+}
+
+// Accuracy returns conditional-branch prediction accuracy.
+func (r Result) Accuracy() float64 {
+	if r.CondExecs == 0 {
+		return 1
+	}
+	return 1 - float64(r.Mispreds)/float64(r.CondExecs)
+}
+
+// cycle-indexed width limiter: counts events per cycle in a ring. The
+// window must exceed any look-back distance, which is bounded by the
+// largest latency chain (memory latency + penalties « window).
+const widthWindow = 1 << 15
+
+type widthLimiter struct {
+	counts []uint16
+	limit  uint16
+	// cleared marks the highest cycle whose slot has been reset.
+	lastSeen uint64
+}
+
+func newWidthLimiter(limit int) *widthLimiter {
+	return &widthLimiter{counts: make([]uint16, widthWindow), limit: uint16(limit)}
+}
+
+// reserve finds the first cycle >= want with a free slot and claims it.
+func (w *widthLimiter) reserve(want uint64) uint64 {
+	for {
+		w.advance(want)
+		i := want & (widthWindow - 1)
+		if w.counts[i] < w.limit {
+			w.counts[i]++
+			return want
+		}
+		want++
+	}
+}
+
+// advance lazily clears ring slots the simulation has moved past.
+func (w *widthLimiter) advance(cycle uint64) {
+	if cycle <= w.lastSeen {
+		return
+	}
+	// Clear slots in (lastSeen, cycle]; they belong to new cycles.
+	d := cycle - w.lastSeen
+	if d > widthWindow {
+		d = widthWindow
+	}
+	for i := uint64(1); i <= d; i++ {
+		w.counts[(w.lastSeen+i)&(widthWindow-1)] = 0
+	}
+	w.lastSeen = cycle
+}
+
+// Core is a reusable pipeline simulator instance.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	btb  *btb.BTB
+}
+
+// New returns a Core for the configuration.
+func New(cfg Config) *Core {
+	c := &Core{cfg: cfg, hier: cache.NewHierarchy(cfg.Caches)}
+	if cfg.BTBMissPenalty > 0 {
+		c.btb = btb.New(cfg.BTB)
+	}
+	return c
+}
+
+// BTBStats returns target-prediction statistics (zero value when target
+// prediction is disabled).
+func (c *Core) BTBStats() btb.Stats {
+	if c.btb == nil {
+		return btb.Stats{}
+	}
+	return c.btb.Stats()
+}
+
+// Hierarchy exposes the cache hierarchy (for stats reporting).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+func execLatency(kind trace.Kind) uint64 {
+	switch kind {
+	case trace.KindALU, trace.KindNop:
+		return 1
+	case trace.KindMul:
+		return 3
+	case trace.KindDiv:
+		return 18
+	case trace.KindFP:
+		return 4
+	case trace.KindStore:
+		return 1
+	default: // branches resolve in one cycle once operands are ready
+		return 1
+	}
+}
+
+// Run simulates the stream to completion and returns timing results.
+func (c *Core) Run(s trace.Stream, opt Options) Result {
+	cfg := c.cfg
+	var res Result
+
+	var (
+		regReady [trace.NumRegs]uint64
+
+		// Ring buffers holding per-entry release cycles for each bounded
+		// structure: an instruction cannot claim entry i%N until the
+		// previous holder released it.
+		robRelease   = make([]uint64, cfg.ROBSize)
+		schedRelease = make([]uint64, cfg.SchedSize)
+		lqRelease    = make([]uint64, cfg.LQSize)
+		sqRelease    = make([]uint64, cfg.SQSize)
+		robIdx       int
+		schedIdx     int
+		lqIdx        int
+		sqIdx        int
+
+		fetchLim  = newWidthLimiter(cfg.FetchWidth)
+		issueLim  = newWidthLimiter(cfg.IssueWidth)
+		retireLim = newWidthLimiter(cfg.RetireWidth)
+
+		fetchReady uint64 // earliest cycle fetch may proceed (redirects)
+		lastRetire uint64
+		lastCycle  uint64
+
+		// Store-to-load forwarding over the most recent stores.
+		storeAddr  = make([]uint64, cfg.SQSize)
+		storeDone  = make([]uint64, cfg.SQSize)
+		execCounts = make(map[uint64]uint64) // for MinExecsPerfect
+	)
+
+	var inst trace.Inst
+	for s.Next(&inst) {
+		res.Insts++
+
+		// --- Fetch ---------------------------------------------------
+		fetch := fetchLim.reserve(maxU(fetchReady, lastCycle0(lastRetire, cfg)))
+		// Instruction-cache access delays fetch on miss (block-granular:
+		// the hierarchy caches the line after the first access).
+		if lat := c.hier.L1I.Access(inst.IP); lat > 0 {
+			fetch += lat
+		}
+
+		// --- Dispatch: ROB + scheduler occupancy ----------------------
+		dispatch := fetch + cfg.FrontDepth
+		if r := robRelease[robIdx]; r > dispatch {
+			dispatch = r
+		}
+		if r := schedRelease[schedIdx]; r > dispatch {
+			dispatch = r
+		}
+		if inst.Kind == trace.KindLoad {
+			if r := lqRelease[lqIdx]; r > dispatch {
+				dispatch = r
+			}
+		}
+		if inst.Kind == trace.KindStore {
+			if r := sqRelease[sqIdx]; r > dispatch {
+				dispatch = r
+			}
+		}
+
+		// --- Issue: operand readiness + issue bandwidth ---------------
+		ready := dispatch
+		for _, r := range inst.SrcRegs {
+			if r != trace.NoReg && regReady[r] > ready {
+				ready = regReady[r]
+			}
+		}
+		issue := issueLim.reserve(ready)
+
+		// --- Execute ---------------------------------------------------
+		var done uint64
+		switch inst.Kind {
+		case trace.KindLoad:
+			lat := c.hier.L1D.Access(inst.MemAddr)
+			// Store-to-load forwarding: a recent store to the same block
+			// bounds the load's completion from below.
+			block := inst.MemAddr >> 3
+			fwd := uint64(0)
+			for i := range storeAddr {
+				if storeAddr[i] == block && storeDone[i] > fwd {
+					fwd = storeDone[i]
+				}
+			}
+			done = maxU(issue+lat, fwd)
+		case trace.KindStore:
+			done = issue + execLatency(inst.Kind)
+			storeAddr[sqIdx] = inst.MemAddr >> 3
+			storeDone[sqIdx] = done
+		default:
+			done = issue + execLatency(inst.Kind)
+		}
+		if inst.DstReg != trace.NoReg {
+			regReady[inst.DstReg] = done
+		}
+
+		// --- Branch handling -------------------------------------------
+		if inst.Kind == trace.KindCondBr {
+			res.CondExecs++
+			pred := inst.Taken
+			switch {
+			case opt.PerfectBP:
+				// oracle
+			case opt.PerfectIPs != nil && opt.PerfectIPs[inst.IP]:
+				// oracle for the selected set; still train the predictor
+				// so shared history matches deployment.
+				if opt.Predictor != nil {
+					p := opt.Predictor.Predict(inst.IP)
+					trainCond(opt.Predictor, inst.IP, inst.Target, inst.Taken, p)
+				}
+			case opt.MinExecsPerfect > 0 && execCounts[inst.IP] >= opt.MinExecsPerfect:
+				if opt.Predictor != nil {
+					p := opt.Predictor.Predict(inst.IP)
+					trainCond(opt.Predictor, inst.IP, inst.Target, inst.Taken, p)
+				}
+			case opt.Predictor != nil:
+				pred = opt.Predictor.Predict(inst.IP)
+				trainCond(opt.Predictor, inst.IP, inst.Target, inst.Taken, pred)
+			}
+			if opt.MinExecsPerfect > 0 {
+				execCounts[inst.IP]++
+			}
+			if pred != inst.Taken {
+				res.Mispreds++
+				// Wrong-path fetch is squashed when the branch resolves;
+				// fetch restarts after the redirect penalty.
+				if nr := done + cfg.RedirectPenalty; nr > fetchReady {
+					fetchReady = nr
+				}
+			}
+			if opt.BranchHook != nil {
+				opt.BranchHook(inst.IP, inst.Target, inst.Taken, pred)
+			}
+		} else if inst.Kind.IsBranch() {
+			if opt.Predictor != nil && !opt.PerfectBP {
+				bp.Observe(opt.Predictor, inst.IP, inst.Target, inst.Kind, inst.Taken)
+			}
+		}
+
+		// Target prediction: a taken branch whose target the BTB/RAS did
+		// not produce at fetch costs a decode-redirect bubble.
+		if c.btb != nil && inst.Kind.IsBranch() {
+			predTarget, hit := c.btb.Lookup(inst.IP, inst.Kind)
+			if !c.btb.Update(inst.IP, inst.Target, inst.Kind, inst.Taken, predTarget, hit) {
+				if nr := fetch + cfg.BTBMissPenalty; nr > fetchReady {
+					fetchReady = nr
+				}
+			}
+		}
+
+		// --- Retire -----------------------------------------------------
+		retire := retireLim.reserve(maxU(done+1, lastRetire))
+		lastRetire = retire
+		lastCycle = maxU(lastCycle, retire)
+
+		// Release bounded structures.
+		robRelease[robIdx] = retire
+		robIdx++
+		if robIdx == cfg.ROBSize {
+			robIdx = 0
+		}
+		schedRelease[schedIdx] = issue
+		schedIdx++
+		if schedIdx == cfg.SchedSize {
+			schedIdx = 0
+		}
+		if inst.Kind == trace.KindLoad {
+			lqRelease[lqIdx] = done
+			lqIdx++
+			if lqIdx == cfg.LQSize {
+				lqIdx = 0
+			}
+		}
+		if inst.Kind == trace.KindStore {
+			sqRelease[sqIdx] = retire
+			sqIdx++
+			if sqIdx == cfg.SQSize {
+				sqIdx = 0
+			}
+		}
+	}
+
+	res.Cycles = lastCycle
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Insts) / float64(res.Cycles)
+	}
+	if res.Insts > 0 {
+		res.MPKI = 1000 * float64(res.Mispreds) / float64(res.Insts)
+		res.L1DMissPKI = 1000 * float64(c.hier.L1D.Stats().Misses) / float64(res.Insts)
+	}
+	return res
+}
+
+func trainCond(p bp.Predictor, ip, target uint64, taken, pred bool) {
+	type targetTrainer interface {
+		TrainWithTarget(ip, target uint64, taken, pred bool)
+	}
+	if tt, ok := p.(targetTrainer); ok {
+		tt.TrainWithTarget(ip, target, taken, pred)
+		return
+	}
+	p.Train(ip, taken, pred)
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lastCycle0 bounds fetch from below so that fetch cannot fall
+// unboundedly behind retirement bookkeeping (keeps the width-limiter ring
+// windows aligned).
+func lastCycle0(lastRetire uint64, cfg Config) uint64 {
+	if lastRetire > uint64(cfg.ROBSize)+cfg.FrontDepth+widthWindow/2 {
+		return lastRetire - uint64(cfg.ROBSize) - cfg.FrontDepth - widthWindow/2
+	}
+	return 0
+}

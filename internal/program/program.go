@@ -1,0 +1,337 @@
+// Package program is the synthetic-program substrate: it turns a workload
+// payload — ordinary Go code calling an Emitter — into a deterministic
+// instruction Stream with realistic control flow, register dataflow and
+// memory behaviour.
+//
+// The emitter is the reproduction's substitute for tracing real binaries
+// (see DESIGN.md §1): every analysis in the paper consumes only
+// trace-visible signals (IPs, directions, operand registers, written
+// values, addresses), and the emitter produces exactly those signals under
+// workload control. Payload functions run in a producer goroutine and are
+// pure functions of the seed, so a (payload, seed, budget) triple always
+// yields the identical trace.
+package program
+
+import (
+	"sync"
+
+	"branchlab/internal/trace"
+	"branchlab/internal/xrand"
+)
+
+// VarID names a program variable. Variables map to stable architectural
+// registers so that reads and writes form honest def-use chains for the
+// dependency-graph analysis.
+type VarID int
+
+// reg maps a variable to its architectural register (r8..r27, leaving
+// low registers for filler code and scratch).
+func (v VarID) reg() uint8 { return uint8(8 + int(v)%20) }
+
+// Payload is a synthetic program: it calls Emitter methods until Running
+// reports false.
+type Payload func(e *Emitter)
+
+const (
+	batchSize    = 8192
+	branchStride = 64 // bytes of IP space per static branch region
+)
+
+// Emitter records the instructions a payload produces. Methods must only
+// be called from the payload goroutine.
+type Emitter struct {
+	rng     *xrand.Rand
+	budget  uint64
+	emitted uint64
+
+	baseIP  uint64
+	curIP   uint64
+	callers []uint64
+
+	batch  []trace.Inst
+	out    chan []trace.Inst
+	cancel chan struct{}
+
+	scratch uint8 // rotating scratch register for filler code
+}
+
+// stopSignal unwinds the payload goroutine when the consumer closes the
+// stream early.
+type stopSignal struct{}
+
+// Rand returns the emitter's deterministic random source. Payloads must
+// draw all randomness from it.
+func (e *Emitter) Rand() *xrand.Rand { return e.rng }
+
+// Running reports whether the payload should keep generating. Payloads
+// use it as their main loop condition; inner kernels of bounded size may
+// overshoot by a fraction of a batch, which the stream truncates.
+func (e *Emitter) Running() bool { return e.emitted < e.budget }
+
+// InstCount returns the number of instructions emitted so far.
+func (e *Emitter) InstCount() uint64 { return e.emitted }
+
+// Budget returns the total instruction budget of this run. Payloads use
+// it to scale structures that the paper defines per trace length (e.g.
+// static code footprint per 30M-instruction slice).
+func (e *Emitter) Budget() uint64 { return e.budget }
+
+func (e *Emitter) emit(inst trace.Inst) {
+	if e.emitted >= e.budget {
+		return
+	}
+	e.emitted++
+	e.batch = append(e.batch, inst)
+	if len(e.batch) >= batchSize {
+		e.flush()
+	}
+}
+
+func (e *Emitter) flush() {
+	if len(e.batch) == 0 {
+		return
+	}
+	select {
+	case e.out <- e.batch:
+	case <-e.cancel:
+		panic(stopSignal{})
+	}
+	e.batch = make([]trace.Inst, 0, batchSize)
+}
+
+// BranchIP returns the stable instruction pointer assigned to branch id.
+func (e *Emitter) BranchIP(id int) uint64 {
+	return e.baseIP + uint64(id)*branchStride
+}
+
+// Compute emits n filler computation instructions (ALU/MUL/FP mix) with
+// plausible register pressure on the low registers.
+func (e *Emitter) Compute(n int) {
+	for i := 0; i < n && e.Running(); i++ {
+		kind := trace.KindALU
+		switch e.rng.Intn(16) {
+		case 0:
+			kind = trace.KindMul
+		case 1:
+			kind = trace.KindFP
+		}
+		dst := e.scratch
+		e.scratch = (e.scratch + 1) & 7
+		e.emit(trace.Inst{
+			IP:       e.curIP,
+			Kind:     kind,
+			DstReg:   dst,
+			DstValue: e.rng.Uint64() & 0xFFFF,
+			SrcRegs:  [2]uint8{(dst + 1) & 7, (dst + 3) & 7},
+		})
+		e.curIP += 4
+	}
+}
+
+// SetVar emits an ALU instruction writing value into v's register. The
+// written value is visible to the register-value analysis (Fig 10) and
+// the def-use chain to any branch reading v (Table III / Fig 6).
+func (e *Emitter) SetVar(v VarID, value uint64) {
+	e.emit(trace.Inst{
+		IP:       e.curIP,
+		Kind:     trace.KindALU,
+		DstReg:   v.reg(),
+		DstValue: value,
+		SrcRegs:  [2]uint8{v.reg(), trace.NoReg},
+	})
+	e.curIP += 4
+}
+
+// SetVarLoad is SetVar through memory: a load from addr defines v.
+func (e *Emitter) SetVarLoad(v VarID, addr, value uint64) {
+	e.emit(trace.Inst{
+		IP:       e.curIP,
+		Kind:     trace.KindLoad,
+		MemAddr:  addr,
+		DstReg:   v.reg(),
+		DstValue: value,
+		SrcRegs:  [2]uint8{trace.NoReg, trace.NoReg},
+	})
+	e.curIP += 4
+}
+
+// Load emits a load from addr into a scratch register.
+func (e *Emitter) Load(addr uint64) {
+	dst := e.scratch
+	e.scratch = (e.scratch + 1) & 7
+	e.emit(trace.Inst{
+		IP:      e.curIP,
+		Kind:    trace.KindLoad,
+		MemAddr: addr,
+		DstReg:  dst,
+		SrcRegs: [2]uint8{trace.NoReg, trace.NoReg},
+	})
+	e.curIP += 4
+}
+
+// Store emits a store to addr.
+func (e *Emitter) Store(addr uint64) {
+	e.emit(trace.Inst{
+		IP:      e.curIP,
+		Kind:    trace.KindStore,
+		MemAddr: addr,
+		DstReg:  trace.NoReg,
+		SrcRegs: [2]uint8{e.scratch, trace.NoReg},
+	})
+	e.curIP += 4
+}
+
+// Cond emits the conditional branch id with the given resolved direction.
+// reads lists the variables the branch condition depends on; they become
+// the branch's source registers. The branch target is forward.
+func (e *Emitter) Cond(id int, taken bool, reads ...VarID) {
+	ip := e.BranchIP(id)
+	e.condAt(ip, ip+branchStride/2, taken, reads)
+}
+
+// CondBackward emits branch id as a backward (loop-style) branch, the
+// shape the IMLI component of TAGE-SC-L keys on.
+func (e *Emitter) CondBackward(id int, taken bool, reads ...VarID) {
+	ip := e.BranchIP(id)
+	target := ip - 8*branchStride
+	if target > ip { // underflow guard
+		target = e.baseIP
+	}
+	e.condAt(ip, target, taken, reads)
+}
+
+func (e *Emitter) condAt(ip, target uint64, taken bool, reads []VarID) {
+	inst := trace.Inst{
+		IP:      ip,
+		Kind:    trace.KindCondBr,
+		Target:  target,
+		Taken:   taken,
+		DstReg:  trace.NoReg,
+		SrcRegs: [2]uint8{trace.NoReg, trace.NoReg},
+	}
+	for i, v := range reads {
+		if i >= 2 {
+			break
+		}
+		inst.SrcRegs[i] = v.reg()
+	}
+	e.emit(inst)
+	if taken {
+		e.curIP = target
+	} else {
+		e.curIP = ip + 4
+	}
+}
+
+// Call emits a direct call into function fn's region and tracks the
+// return address.
+func (e *Emitter) Call(fn int) {
+	ip := e.curIP
+	target := e.baseIP + 1<<20 + uint64(fn)*4096
+	e.emit(trace.Inst{
+		IP: ip, Kind: trace.KindCall, Target: target, Taken: true,
+		DstReg: trace.NoReg, SrcRegs: [2]uint8{trace.NoReg, trace.NoReg},
+	})
+	e.callers = append(e.callers, ip+4)
+	e.curIP = target
+}
+
+// Ret returns from the innermost Call; without one it is a no-op jump.
+func (e *Emitter) Ret() {
+	if len(e.callers) == 0 {
+		return
+	}
+	target := e.callers[len(e.callers)-1]
+	e.callers = e.callers[:len(e.callers)-1]
+	e.emit(trace.Inst{
+		IP: e.curIP, Kind: trace.KindRet, Target: target, Taken: true,
+		DstReg: trace.NoReg, SrcRegs: [2]uint8{trace.NoReg, trace.NoReg},
+	})
+	e.curIP = target
+}
+
+// Jump emits an unconditional direct jump to branch id's region.
+func (e *Emitter) Jump(id int) {
+	target := e.BranchIP(id)
+	e.emit(trace.Inst{
+		IP: e.curIP, Kind: trace.KindJump, Target: target, Taken: true,
+		DstReg: trace.NoReg, SrcRegs: [2]uint8{trace.NoReg, trace.NoReg},
+	})
+	e.curIP = target
+}
+
+// Stream is the consumer side of a running payload. It implements
+// trace.Stream and trace.Closer.
+type Stream struct {
+	out    chan []trace.Inst
+	cancel chan struct{}
+	cur    []trace.Inst
+	idx    int
+	once   sync.Once
+}
+
+// Run starts payload in a producer goroutine and returns the consuming
+// stream. The stream yields at most budget instructions. Callers should
+// Close the stream if they stop early; draining it fully also releases
+// the producer.
+func Run(seed, budget uint64, payload Payload) *Stream {
+	s := &Stream{
+		out:    make(chan []trace.Inst, 2),
+		cancel: make(chan struct{}),
+	}
+	e := &Emitter{
+		rng:    xrand.New(seed),
+		budget: budget,
+		baseIP: 0x400000,
+		curIP:  0x400000,
+		batch:  make([]trace.Inst, 0, batchSize),
+		out:    s.out,
+		cancel: s.cancel,
+	}
+	go func() {
+		defer close(s.out)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopSignal); !ok {
+					panic(r)
+				}
+			}
+		}()
+		payload(e)
+		e.flush()
+	}()
+	return s
+}
+
+// Next implements trace.Stream.
+func (s *Stream) Next(inst *trace.Inst) bool {
+	for s.idx >= len(s.cur) {
+		batch, ok := <-s.out
+		if !ok {
+			return false
+		}
+		s.cur = batch
+		s.idx = 0
+	}
+	*inst = s.cur[s.idx]
+	s.idx++
+	return true
+}
+
+// Close implements trace.Closer: it releases the producer goroutine.
+func (s *Stream) Close() error {
+	s.once.Do(func() {
+		close(s.cancel)
+		// Drain so the producer's in-flight send completes.
+		for range s.out {
+		}
+	})
+	return nil
+}
+
+// Record runs payload to completion and materializes the trace.
+func Record(seed, budget uint64, payload Payload) *trace.Buffer {
+	s := Run(seed, budget, payload)
+	defer s.Close()
+	return trace.Record(s)
+}

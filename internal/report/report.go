@@ -1,0 +1,199 @@
+// Package report renders experiment results as aligned ASCII tables,
+// simple line charts and CSV, the output layer of cmd/experiments and
+// EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the numeric/identifier content we emit).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points for a Chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart renders one or more series as a rough ASCII line chart, enough to
+// see the shape a paper figure plots.
+type Chart struct {
+	Title  string
+	Width  int
+	Height int
+	Series []Series
+}
+
+// NewChart returns an empty chart with default dimensions.
+func NewChart(title string) *Chart { return &Chart{Title: title, Width: 64, Height: 16} }
+
+// Add appends a series.
+func (c *Chart) Add(name string, x, y []float64) {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.Series) == 0 {
+		return b.String()
+	}
+	minX, maxX, minY, maxY := inf(), -inf(), inf(), -inf()
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX, maxX = min2(minX, s.X[i]), max2(maxX, s.X[i])
+			minY, maxY = min2(minY, s.Y[i]), max2(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range c.Series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(c.Width-1))
+			row := c.Height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(c.Height-1))
+			grid[row][col] = m
+		}
+	}
+	for r, rowBytes := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3f ", maxY)
+		} else if r == c.Height-1 {
+			label = fmt.Sprintf("%7.3f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, rowBytes)
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "        %-10.3g%*s\n", minX, c.Width-10, fmt.Sprintf("%.3g", maxX))
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "        %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+// Artifact bundles one experiment's rendered output.
+type Artifact struct {
+	ID     string // e.g. "fig1", "table2"
+	Title  string
+	Tables []*Table
+	Charts []*Chart
+	Notes  []string
+}
+
+// String renders the artifact.
+func (a *Artifact) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s ====\n", a.ID, a.Title)
+	for _, t := range a.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, c := range a.Charts {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range a.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func inf() float64 { return 1e308 }
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

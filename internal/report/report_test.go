@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("title", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long-name", "2.5")
+	s := tab.String()
+	if !strings.Contains(s, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	// Columns must align: "value" header starts at the same offset as
+	// row values.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("1", "2", "3", "4")
+	if len(tab.Rows[0]) != 2 {
+		t.Errorf("extra cells kept: %v", tab.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow("1", "2")
+	csv := tab.CSV()
+	if csv != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("growth")
+	c.Add("linear", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	c.Add("flat", []float64{1, 2, 3, 4}, []float64{2, 2, 2, 2})
+	s := c.String()
+	if !strings.Contains(s, "growth") || !strings.Contains(s, "* = linear") {
+		t.Errorf("chart incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Error("series marks missing")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	c := NewChart("one")
+	c.Add("p", []float64{5}, []float64{7})
+	if c.String() == "" {
+		t.Error("empty render")
+	}
+	empty := NewChart("none")
+	if !strings.Contains(empty.String(), "none") {
+		t.Error("empty chart should still print its title")
+	}
+}
+
+func TestArtifactString(t *testing.T) {
+	a := &Artifact{ID: "figX", Title: "demo"}
+	tab := NewTable("", "k")
+	tab.AddRow("v")
+	a.Tables = append(a.Tables, tab)
+	a.Notes = append(a.Notes, "a note")
+	s := a.String()
+	for _, want := range []string{"figX", "demo", "k", "v", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("artifact missing %q:\n%s", want, s)
+		}
+	}
+}

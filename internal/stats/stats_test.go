@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !approx(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !approx(got, 10, 1e-9) {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with non-positive input should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5}
+	if got := Median(xs); got != 5 {
+		t.Errorf("Median = %v", got)
+	}
+	if xs[0] != 9 {
+		t.Error("Median must not modify input")
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Errorf("Q1 = %v", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+}
+
+func TestMedianUint64(t *testing.T) {
+	if got := MedianUint64([]uint64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := MedianUint64([]uint64{1, 2, 3, 10}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if MedianUint64(nil) != 0 {
+		t.Error("empty median != 0")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 100, 1000)
+	h.Add(-5)   // under
+	h.Add(0)    // bin 0
+	h.Add(9.99) // bin 0
+	h.Add(10)   // bin 1 (left-closed)
+	h.Add(500)  // bin 2
+	h.Add(1000) // final bin closed on the right
+	h.Add(1001) // over
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	want := []uint64{2, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total != 7 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	fr := h.Fraction()
+	if !approx(fr[0], 2.0/7.0, 1e-12) {
+		t.Errorf("Fraction[0] = %v", fr[0])
+	}
+}
+
+func TestHistogramEdgeMembershipProperty(t *testing.T) {
+	h := NewHistogram(0, 1, 2, 4, 8, 16)
+	if err := quick.Check(func(raw uint16) bool {
+		x := float64(raw%200) / 10 // 0..19.9
+		before := h.Total
+		h.Add(x)
+		if h.Total != before+1 {
+			return false
+		}
+		// Every observation lands in exactly one counter.
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum+h.Under+h.Over == h.Total
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, edges := range [][]float64{{1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges...)
+		}()
+	}
+}
+
+func TestHistogramBinLabel(t *testing.T) {
+	h := NewHistogram(0, 100, 1000, 1000000, 2000000)
+	if got := h.BinLabel(1); got != "100-1K" {
+		t.Errorf("BinLabel(1) = %q", got)
+	}
+	if got := h.BinLabel(3); got != "1M-2M" {
+		t.Errorf("BinLabel(3) = %q", got)
+	}
+}
+
+func TestReservoirExactWhenSmall(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := uint64(1); i <= 9; i++ {
+		r.Add(i)
+	}
+	if got := r.Median(); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+	if r.N != 9 {
+		t.Errorf("N = %d", r.N)
+	}
+}
+
+func TestReservoirSamplesUniformly(t *testing.T) {
+	// Feed 10k values; the sampled median should approximate the true one.
+	r := NewReservoir(512, 42)
+	for i := uint64(0); i < 10000; i++ {
+		r.Add(i)
+	}
+	med := r.Median()
+	if med < 3500 || med > 6500 {
+		t.Errorf("sampled median = %v, want ~5000", med)
+	}
+	if len(r.Sample) != 512 {
+		t.Errorf("sample size = %d", len(r.Sample))
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(16, 7), NewReservoir(16, 7)
+	for i := uint64(0); i < 1000; i++ {
+		a.Add(i)
+		b.Add(i)
+	}
+	for i := range a.Sample {
+		if a.Sample[i] != b.Sample[i] {
+			t.Fatal("reservoirs with equal seeds diverged")
+		}
+	}
+}
+
+func TestBinnedStdDev(t *testing.T) {
+	b := NewBinnedStdDev(100)
+	// Bin [0,100): high spread; bin [100,200): no spread.
+	for _, y := range []float64{0, 1, 0, 1} {
+		b.Add(50, y)
+	}
+	for i := 0; i < 4; i++ {
+		b.Add(150, 0.9)
+	}
+	bins := b.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d, want 2", len(bins))
+	}
+	if bins[0].Lo != 0 || bins[0].Hi != 100 || bins[1].Lo != 100 {
+		t.Errorf("bin ranges wrong: %+v", bins)
+	}
+	if !approx(bins[0].StdDev, 0.5, 1e-12) {
+		t.Errorf("bin0 stddev = %v, want 0.5", bins[0].StdDev)
+	}
+	if bins[1].StdDev != 0 {
+		t.Errorf("bin1 stddev = %v, want 0", bins[1].StdDev)
+	}
+	if bins[0].N != 4 || bins[1].N != 4 {
+		t.Errorf("bin counts: %+v", bins)
+	}
+}

@@ -1,0 +1,184 @@
+// Package tage implements the TAGE-SC-L branch predictor (Seznec,
+// CBP2016): a bimodal base table, a set of partially-tagged tables indexed
+// by geometrically increasing global-history lengths (TAGE), a loop
+// predictor (L), and a statistical corrector (SC) that arbitrates between
+// the available predictions.
+//
+// The implementation is written from scratch for this reproduction. It
+// keeps the structural elements the paper's measurements depend on —
+// longest-match PPM-style lookup, usefulness-driven allocation and
+// reclamation of tagged entries, geometric history series (max length
+// 1,000 at the 8KB budget and 3,000 at 64KB and above, matching §IV-A),
+// and SC/loop arbitration — while simplifying low-level bit-packing
+// details that do not affect behaviour shape.
+//
+// Storage budgets from 8KB to 1024KB reproduce the limit study of §IV-B
+// (Fig 7).
+package tage
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config sizes every component of a TAGE-SC-L instance.
+type Config struct {
+	Name      string
+	SizeKB    int
+	NumTables int // tagged tables
+	MinHist   int // shortest tagged history length
+	MaxHist   int // longest tagged history length
+
+	LogBimodal uint   // log2 entries in the bimodal base table
+	LogTagged  []uint // log2 entries per tagged table
+	TagBits    []uint // tag width per tagged table
+
+	UseLoop bool
+	LogLoop uint // log2 loop-predictor entries
+
+	UseSC        bool
+	LogSC        uint  // log2 entries per SC table
+	SCGlobalLens []int // global-history lengths of SC GEHL tables
+	SCLocalLens  []int // local-history lengths of SC GEHL tables
+
+	UResetPeriod uint64 // updates between usefulness-counter aging
+}
+
+// NewConfig builds a configuration targeting approximately kb kilobytes of
+// predictor state, following the proportions of the CBP2016 design: the
+// bulk of storage in the tagged tables, with bimodal, SC and loop
+// components taking fixed shares.
+func NewConfig(kb int) Config {
+	if kb <= 0 {
+		panic("tage: non-positive storage budget")
+	}
+	c := Config{
+		Name:         fmt.Sprintf("tage-sc-l-%dKB", kb),
+		SizeKB:       kb,
+		NumTables:    12,
+		MinHist:      4,
+		MaxHist:      3000,
+		UseLoop:      true,
+		UseSC:        true,
+		UResetPeriod: 1 << 18,
+	}
+	if kb < 64 {
+		// The paper: TAGE-SC-L 8KB tracks histories up to 1,000; the 64KB
+		// configuration extends to 3,000 (§IV-A).
+		c.MaxHist = 1000
+		c.NumTables = 10
+	}
+
+	budgetBits := kb * 8192
+	// Component shares: bimodal 1/8, SC 1/8, loop 1/32, tagged the rest.
+	bimodalBits := budgetBits / 8
+	c.LogBimodal = log2floor(bimodalBits / 2) // 2 bits per bimodal counter
+	clampLog(&c.LogBimodal, 8, 22)
+
+	loopBits := budgetBits / 32
+	c.LogLoop = log2floor(loopBits / 52) // ~52 bits per loop entry
+	clampLog(&c.LogLoop, 4, 12)
+
+	scBits := budgetBits / 8
+	// SC has len(SCGlobalLens)+len(SCLocalLens)+2 bias+1 IMLI tables of
+	// 6-bit counters.
+	c.SCGlobalLens = []int{4, 11, 27}
+	c.SCLocalLens = []int{5, 11}
+	numSCTables := len(c.SCGlobalLens) + len(c.SCLocalLens) + 3
+	c.LogSC = log2floor(scBits / (6 * numSCTables))
+	clampLog(&c.LogSC, 6, 18)
+
+	c.TagBits = make([]uint, c.NumTables)
+	for i := range c.TagBits {
+		t := 8 + uint(i)/2
+		if t > 14 {
+			t = 14
+		}
+		c.TagBits[i] = t
+	}
+	taggedBits := budgetBits - bimodalBits - loopBits - scBits
+	avgEntryBits := 0
+	for _, t := range c.TagBits {
+		avgEntryBits += 3 + 2 + int(t) // ctr + u + tag
+	}
+	avgEntryBits /= c.NumTables
+	perTable := taggedBits / (c.NumTables * avgEntryBits)
+	logT := log2floor(perTable)
+	clampLog(&logT, 6, 20)
+	c.LogTagged = make([]uint, c.NumTables)
+	for i := range c.LogTagged {
+		c.LogTagged[i] = logT
+	}
+	return c
+}
+
+// Config8KB returns the practical baseline configuration the paper
+// screens H2Ps against.
+func Config8KB() Config { return NewConfig(8) }
+
+// Config64KB returns the large CBP2016-class configuration.
+func Config64KB() Config { return NewConfig(64) }
+
+// HistLengths returns the geometric history-length series L(i) =
+// MinHist * r^i with L(last) = MaxHist.
+func (c *Config) HistLengths() []int {
+	out := make([]int, c.NumTables)
+	ratio := geomRatio(c.MinHist, c.MaxHist, c.NumTables)
+	l := float64(c.MinHist)
+	prev := 0
+	for i := 0; i < c.NumTables; i++ {
+		v := int(l + 0.5)
+		if v <= prev {
+			v = prev + 1 // keep lengths strictly increasing
+		}
+		out[i] = v
+		prev = v
+		l *= ratio
+	}
+	out[c.NumTables-1] = c.MaxHist
+	return out
+}
+
+// StorageBits returns the modeled hardware budget of the configuration in
+// bits (telemetry fields excluded).
+func (c *Config) StorageBits() int {
+	bits := 2 << c.LogBimodal // 2-bit bimodal counters
+	for i := 0; i < c.NumTables; i++ {
+		entry := 3 + 2 + int(c.TagBits[i])
+		bits += entry << c.LogTagged[i]
+	}
+	if c.UseLoop {
+		bits += 52 << c.LogLoop
+	}
+	if c.UseSC {
+		numSC := len(c.SCGlobalLens) + len(c.SCLocalLens) + 3
+		bits += 6 * numSC << c.LogSC
+		bits += 11 * 256 // local histories
+	}
+	return bits
+}
+
+func geomRatio(min, max, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Pow(float64(max)/float64(min), 1/float64(n-1))
+}
+
+func log2floor(v int) uint {
+	var l uint
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+func clampLog(l *uint, lo, hi uint) {
+	if *l < lo {
+		*l = lo
+	}
+	if *l > hi {
+		*l = hi
+	}
+}

@@ -1,0 +1,65 @@
+package tage
+
+// globalHist is a long global-history ring buffer supporting the folded
+// (compressed) history registers that make TAGE's O(1) index computation
+// possible at history lengths in the thousands.
+type globalHist struct {
+	bits []uint8
+	mask int
+	ptr  int
+}
+
+func newGlobalHist(capacity int) *globalHist {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &globalHist{bits: make([]uint8, size), mask: size - 1}
+}
+
+// push records the newest direction bit.
+func (g *globalHist) push(taken bool) {
+	g.ptr--
+	var b uint8
+	if taken {
+		b = 1
+	}
+	g.bits[g.ptr&g.mask] = b
+}
+
+// at returns the direction bit d positions ago (0 = newest).
+func (g *globalHist) at(d int) uint8 { return g.bits[(g.ptr+d)&g.mask] }
+
+// folded is a circularly-folded compression of the most recent origLen
+// history bits into compLen bits, updated incrementally as bits enter and
+// leave the window (Michaud's CSHR, as used by every TAGE variant).
+type folded struct {
+	comp     uint64
+	compLen  uint
+	origLen  int
+	outpoint uint
+	mask     uint64
+}
+
+func newFolded(origLen int, compLen uint) folded {
+	if compLen == 0 {
+		compLen = 1
+	}
+	return folded{
+		compLen:  compLen,
+		origLen:  origLen,
+		outpoint: uint(origLen) % compLen,
+		mask:     (1 << compLen) - 1,
+	}
+}
+
+// update incorporates the newest bit (already pushed into g) and retires
+// the bit that just left the origLen window.
+func (f *folded) update(g *globalHist) {
+	in := uint64(g.at(0))
+	out := uint64(g.at(f.origLen))
+	f.comp = (f.comp << 1) | in
+	f.comp ^= out << f.outpoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= f.mask
+}

@@ -1,0 +1,199 @@
+package tage
+
+// corrector is the statistical corrector (SC) of TAGE-SC-L: a GEHL-style
+// ensemble of 6-bit counter tables over several signal modalities — a
+// per-IP bias (conditioned on the TAGE prediction), short global history,
+// the IMLI counter (Seznec et al., MICRO 2015), and per-IP local history.
+// The signed sum of all counters yields a confidence value; when it
+// disagrees with TAGE and its magnitude clears an adaptive threshold, the
+// corrector overrides.
+type corrector struct {
+	logSize uint
+	mask    uint64
+
+	bias   []int8 // indexed by ip ^ tagePred
+	biasSK []int8 // skewed second bias table
+	global [][]int8
+	gLens  []int
+	local  [][]int8
+	lLens  []int
+	imliT  []int8
+
+	ghist      uint64 // recent global history (SC only needs short windows)
+	localHist  []uint16
+	imli       uint32
+	lastBackIP uint64
+
+	threshold int32
+	tc        int8 // threshold adaptation counter
+}
+
+const (
+	scCtrMax       = 31
+	scCtrMin       = -32
+	scInitThresh   = 6
+	scMinThresh    = 4
+	scMaxThresh    = 120
+	scLocalEntries = 256
+)
+
+func newCorrector(cfg Config) *corrector {
+	c := &corrector{
+		logSize:   cfg.LogSC,
+		mask:      (1 << cfg.LogSC) - 1,
+		bias:      make([]int8, 1<<cfg.LogSC),
+		biasSK:    make([]int8, 1<<cfg.LogSC),
+		imliT:     make([]int8, 1<<cfg.LogSC),
+		gLens:     cfg.SCGlobalLens,
+		lLens:     cfg.SCLocalLens,
+		localHist: make([]uint16, scLocalEntries),
+		threshold: scInitThresh,
+	}
+	c.global = make([][]int8, len(c.gLens))
+	for i := range c.global {
+		c.global[i] = make([]int8, 1<<cfg.LogSC)
+	}
+	c.local = make([][]int8, len(c.lLens))
+	for i := range c.local {
+		c.local[i] = make([]int8, 1<<cfg.LogSC)
+	}
+	return c
+}
+
+func scHash(ip, sig uint64) uint64 {
+	x := ip ^ sig*0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+func (c *corrector) localIndex(ip uint64) int {
+	return int((ip ^ ip>>9) & (scLocalEntries - 1))
+}
+
+// tableIndices fills idx with the index of every SC table for the branch
+// at ip under TAGE prediction tagePred, in a fixed order: bias, biasSK,
+// globals..., imli, locals...
+func (c *corrector) tableIndices(ip uint64, tagePred bool, idx []uint64) {
+	t := uint64(0)
+	if tagePred {
+		t = 1
+	}
+	k := 0
+	idx[k] = (scHash(ip, 0)<<1 | t) & c.mask
+	k++
+	idx[k] = (scHash(ip, 0xABCD)<<1 | t) & c.mask
+	k++
+	for _, l := range c.gLens {
+		sig := c.ghist & ((1 << uint(l)) - 1)
+		idx[k] = scHash(ip, sig+uint64(l)<<32) & c.mask
+		k++
+	}
+	idx[k] = scHash(ip, uint64(c.imli)) & c.mask
+	k++
+	lh := uint64(c.localHist[c.localIndex(ip)])
+	for _, l := range c.lLens {
+		sig := lh & ((1 << uint(l)) - 1)
+		idx[k] = scHash(ip, sig+uint64(l)<<40) & c.mask
+		k++
+	}
+}
+
+func (c *corrector) numTables() int { return 3 + len(c.gLens) + len(c.lLens) }
+
+func (c *corrector) tableAt(i int) []int8 {
+	switch {
+	case i == 0:
+		return c.bias
+	case i == 1:
+		return c.biasSK
+	case i < 2+len(c.gLens):
+		return c.global[i-2]
+	case i == 2+len(c.gLens):
+		return c.imliT
+	default:
+		return c.local[i-3-len(c.gLens)]
+	}
+}
+
+// sum returns the signed SC confidence for ip given the TAGE prediction.
+func (c *corrector) sum(ip uint64, tagePred bool) int32 {
+	var idx [16]uint64
+	n := c.numTables()
+	c.tableIndices(ip, tagePred, idx[:n])
+	s := int32(0)
+	for i := 0; i < n; i++ {
+		s += 2*int32(c.tableAt(i)[idx[i]]) + 1
+	}
+	return s
+}
+
+// train updates SC state after the branch resolves. ctx carries the
+// prediction-time sums so the update sees exactly what the predict path
+// saw.
+func (c *corrector) train(ip, target uint64, taken bool, ctx *predCtx) {
+	// Threshold adaptation: when SC and TAGE disagreed, track which was
+	// right and drift the override threshold accordingly.
+	if ctx.scPred != ctx.tagePred {
+		if ctx.scPred == taken {
+			c.tc = satUpdate(c.tc, true, -64, 63)
+		} else {
+			c.tc = satUpdate(c.tc, false, -64, 63)
+		}
+		if c.tc == 63 {
+			if c.threshold > scMinThresh {
+				c.threshold--
+			}
+			c.tc = 0
+		} else if c.tc == -64 {
+			if c.threshold < scMaxThresh {
+				c.threshold++
+			}
+			c.tc = 0
+		}
+	}
+
+	// Counter updates: on SC misprediction or low confidence.
+	scTaken := ctx.scSum >= 0
+	if scTaken != taken || abs32(ctx.scSum) < c.threshold+10 {
+		var idx [16]uint64
+		n := c.numTables()
+		c.tableIndices(ip, ctx.tagePred, idx[:n])
+		for i := 0; i < n; i++ {
+			tbl := c.tableAt(i)
+			tbl[idx[i]] = satUpdate(tbl[idx[i]], taken, scCtrMin, scCtrMax)
+		}
+	}
+
+	// Local history update.
+	li := c.localIndex(ip)
+	c.localHist[li] <<= 1
+	if taken {
+		c.localHist[li] |= 1
+	}
+
+	// IMLI: count consecutive taken backward branches (inner-most loop
+	// iterations). target==0 means the driver had no target information.
+	if target != 0 && target < ip {
+		if taken {
+			if ip == c.lastBackIP || c.lastBackIP == 0 {
+				if c.imli < 1<<20 {
+					c.imli++
+				}
+			} else {
+				c.imli = 1
+			}
+			c.lastBackIP = ip
+		} else if ip == c.lastBackIP {
+			c.imli = 0
+		}
+	}
+}
+
+func (c *corrector) pushGlobal(taken bool) {
+	c.ghist <<= 1
+	if taken {
+		c.ghist |= 1
+	}
+}

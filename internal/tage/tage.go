@@ -1,0 +1,358 @@
+package tage
+
+import (
+	"branchlab/internal/bp"
+	"branchlab/internal/trace"
+)
+
+// entry is one tagged-table entry. Owner records the IP that allocated the
+// entry; it is measurement telemetry for the §IV-A churn study, not part
+// of the modeled hardware budget.
+type entry struct {
+	tag   uint16
+	ctr   int8 // 3-bit signed, [-4, 3]
+	u     uint8
+	valid bool
+	owner uint64
+}
+
+// Predictor is a TAGE-SC-L instance. It implements bp.Predictor and
+// bp.BranchObserver; drivers that know branch targets should use
+// TrainWithTarget so the IMLI component sees loop-back edges.
+type Predictor struct {
+	cfg      Config
+	histLens []int
+
+	bimodal []int8
+	tables  [][]entry
+	ghist   *globalHist
+	phist   uint64 // path history (low IP bits)
+	fIdx    []folded
+	fTag0   []folded
+	fTag1   []folded
+
+	loop *bp.Loop
+	sc   *corrector
+
+	useAltOnNA int8 // chooses alt prediction for newly allocated entries
+	tick       uint64
+	rngState   uint64 // for probabilistic allocation spreading
+
+	// Prediction context cached between Predict and Train.
+	ctx    predCtx
+	ctxOK  bool
+	ctxIP  uint64
+	allocs *AllocStats
+}
+
+type predCtx struct {
+	idx      [maxTables]uint32
+	tag      [maxTables]uint16
+	provider int // -1 = bimodal
+	altTable int // -1 = bimodal
+	provPred bool
+	altPred  bool
+	newAlloc bool
+	tagePred bool // post alt-choice TAGE prediction
+	loopPred bool
+	loopHit  bool
+	scSum    int32
+	scPred   bool
+	scUsed   bool
+	final    bool
+}
+
+const maxTables = 20
+
+// New returns a TAGE-SC-L predictor for the given configuration.
+func New(cfg Config) *Predictor {
+	if cfg.NumTables > maxTables {
+		panic("tage: too many tagged tables")
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		histLens: cfg.HistLengths(),
+		bimodal:  make([]int8, 1<<cfg.LogBimodal),
+		ghist:    newGlobalHist(cfg.MaxHist + 64),
+		rngState: 0x853c49e6748fea9b,
+	}
+	p.tables = make([][]entry, cfg.NumTables)
+	p.fIdx = make([]folded, cfg.NumTables)
+	p.fTag0 = make([]folded, cfg.NumTables)
+	p.fTag1 = make([]folded, cfg.NumTables)
+	for i := 0; i < cfg.NumTables; i++ {
+		p.tables[i] = make([]entry, 1<<cfg.LogTagged[i])
+		p.fIdx[i] = newFolded(p.histLens[i], cfg.LogTagged[i])
+		p.fTag0[i] = newFolded(p.histLens[i], cfg.TagBits[i])
+		p.fTag1[i] = newFolded(p.histLens[i], cfg.TagBits[i]-1)
+	}
+	if cfg.UseLoop {
+		p.loop = bp.NewLoop(cfg.LogLoop)
+	}
+	if cfg.UseSC {
+		p.sc = newCorrector(cfg)
+	}
+	return p
+}
+
+// Name implements bp.Predictor.
+func (p *Predictor) Name() string { return p.cfg.Name }
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+func (p *Predictor) nextRand() uint32 {
+	p.rngState = p.rngState*6364136223846793005 + 1442695040888963407
+	return uint32(p.rngState >> 33)
+}
+
+// mixIP spreads instruction-pointer entropy across the low bits. Branch
+// IPs are aligned and clustered in real programs; without full mixing,
+// structured IP layouts systematically collide in the bimodal and tagged
+// tables.
+func mixIP(ip uint64) uint64 {
+	x := ip >> 2
+	x ^= x >> 17
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return x
+}
+
+func (p *Predictor) bimodalIndex(ip uint64) uint64 {
+	return mixIP(ip) & ((1 << p.cfg.LogBimodal) - 1)
+}
+
+func (p *Predictor) compute(ip uint64) {
+	hip := mixIP(ip)
+	for i := 0; i < p.cfg.NumTables; i++ {
+		logT := p.cfg.LogTagged[i]
+		idx := hip ^ hip>>(logT-3) ^ p.fIdx[i].comp ^ p.phist&((1<<minU(uint(p.histLens[i]), 16))-1)
+		p.ctx.idx[i] = uint32(idx & ((1 << logT) - 1))
+		tag := hip>>7 ^ p.fTag0[i].comp ^ p.fTag1[i].comp<<1
+		p.ctx.tag[i] = uint16(tag & ((1 << p.cfg.TagBits[i]) - 1))
+	}
+}
+
+func minU(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// predictInternal fills p.ctx for ip.
+func (p *Predictor) predictInternal(ip uint64) {
+	p.ctx = predCtx{provider: -1, altTable: -1}
+	p.compute(ip)
+
+	for i := p.cfg.NumTables - 1; i >= 0; i-- {
+		e := &p.tables[i][p.ctx.idx[i]]
+		if e.valid && e.tag == p.ctx.tag[i] {
+			if p.ctx.provider < 0 {
+				p.ctx.provider = i
+			} else {
+				p.ctx.altTable = i
+				break
+			}
+		}
+	}
+
+	bimPred := p.bimodal[p.bimodalIndex(ip)] >= 0
+	p.ctx.altPred = bimPred
+	if p.ctx.altTable >= 0 {
+		p.ctx.altPred = p.tables[p.ctx.altTable][p.ctx.idx[p.ctx.altTable]].ctr >= 0
+	}
+	if p.ctx.provider >= 0 {
+		e := &p.tables[p.ctx.provider][p.ctx.idx[p.ctx.provider]]
+		p.ctx.provPred = e.ctr >= 0
+		p.ctx.newAlloc = e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+		if p.ctx.newAlloc && p.useAltOnNA >= 0 {
+			p.ctx.tagePred = p.ctx.altPred
+		} else {
+			p.ctx.tagePred = p.ctx.provPred
+		}
+	} else {
+		p.ctx.provPred = bimPred
+		p.ctx.tagePred = bimPred
+	}
+
+	p.ctx.final = p.ctx.tagePred
+
+	// Loop predictor override.
+	if p.loop != nil {
+		p.ctx.loopHit = p.loop.Confident(ip)
+		if p.ctx.loopHit {
+			p.ctx.loopPred = p.loop.Predict(ip)
+			p.ctx.final = p.ctx.loopPred
+		}
+	}
+
+	// Statistical corrector arbitration.
+	if p.sc != nil {
+		p.ctx.scSum = p.sc.sum(ip, p.ctx.final)
+		p.ctx.scPred = p.ctx.scSum >= 0
+		if p.ctx.scPred != p.ctx.final && abs32(p.ctx.scSum) >= p.sc.threshold {
+			p.ctx.scUsed = true
+			p.ctx.final = p.ctx.scPred
+		}
+	}
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	p.predictInternal(ip)
+	p.ctxOK = true
+	p.ctxIP = ip
+	return p.ctx.final
+}
+
+// Train implements bp.Predictor.
+func (p *Predictor) Train(ip uint64, taken, pred bool) {
+	p.TrainWithTarget(ip, 0, taken, pred)
+}
+
+// TrainWithTarget updates the predictor with the resolved direction of the
+// conditional branch at ip targeting target. Passing the real target lets
+// the IMLI component detect backward (loop) edges.
+func (p *Predictor) TrainWithTarget(ip, target uint64, taken, pred bool) {
+	if !p.ctxOK || p.ctxIP != ip {
+		p.predictInternal(ip)
+	}
+	p.ctxOK = false
+	ctx := &p.ctx
+
+	if p.loop != nil {
+		p.loop.Train(ip, taken, ctx.loopPred)
+	}
+	if p.sc != nil {
+		p.sc.train(ip, target, taken, ctx)
+	}
+
+	// Newly-allocated arbitration counter: when the provider entry is
+	// fresh and disagrees with the alternate, learn which to trust.
+	if ctx.provider >= 0 && ctx.newAlloc && ctx.provPred != ctx.altPred {
+		p.useAltOnNA = satUpdate(p.useAltOnNA, ctx.altPred == taken, -8, 7)
+	}
+
+	// Provider (or bimodal) counter update.
+	if ctx.provider >= 0 {
+		e := &p.tables[ctx.provider][ctx.idx[ctx.provider]]
+		e.ctr = satUpdate(e.ctr, taken, -4, 3)
+		if ctx.provPred != ctx.altPred {
+			if ctx.provPred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		// When the provider proves useless and the alternate was right,
+		// the entry can be reclaimed sooner.
+		if ctx.provPred != taken && ctx.altPred == taken && e.u > 0 {
+			e.u--
+		}
+	} else {
+		i := p.bimodalIndex(ip)
+		p.bimodal[i] = satUpdate(p.bimodal[i], taken, -2, 1)
+	}
+
+	// Allocate on a TAGE misprediction (pre-SC/loop), as in the reference
+	// design: SC/loop corrections do not stop TAGE from learning.
+	if ctx.tagePred != taken && ctx.provider < p.cfg.NumTables-1 {
+		p.allocate(ip, taken, ctx)
+	}
+
+	// Periodic graceful aging of usefulness bits.
+	p.tick++
+	if p.tick >= p.cfg.UResetPeriod {
+		p.tick = 0
+		for _, t := range p.tables {
+			for j := range t {
+				t[j].u >>= 1
+			}
+		}
+	}
+
+	p.pushHistory(ip, taken)
+}
+
+// allocate claims up to two entries in tables with longer history than the
+// provider, preferring entries whose usefulness has decayed to zero.
+func (p *Predictor) allocate(ip uint64, taken bool, ctx *predCtx) {
+	start := ctx.provider + 1
+	// Probabilistically skip the first candidate table to spread
+	// allocations across history lengths (as in the reference design).
+	if start < p.cfg.NumTables-1 && p.nextRand()&1 == 0 {
+		start++
+	}
+	allocated := 0
+	for i := start; i < p.cfg.NumTables && allocated < 2; i++ {
+		e := &p.tables[i][ctx.idx[i]]
+		if e.u != 0 {
+			continue
+		}
+		victim, victimValid := e.owner, e.valid
+		var ctr int8
+		if !taken {
+			ctr = -1
+		}
+		*e = entry{tag: ctx.tag[i], ctr: ctr, valid: true, owner: ip}
+		p.recordAlloc(ip, i, int(ctx.idx[i]), victim, victimValid)
+		allocated++
+		i++ // leave a gap: at most every other table
+	}
+	if allocated == 0 {
+		// No free entry: decay usefulness on the candidate path so a
+		// future allocation can succeed.
+		for i := ctx.provider + 1; i < p.cfg.NumTables; i++ {
+			e := &p.tables[i][ctx.idx[i]]
+			if e.u > 0 {
+				e.u--
+			}
+		}
+	}
+}
+
+func (p *Predictor) pushHistory(ip uint64, taken bool) {
+	p.ghist.push(taken)
+	for i := range p.fIdx {
+		p.fIdx[i].update(p.ghist)
+		p.fTag0[i].update(p.ghist)
+		p.fTag1[i].update(p.ghist)
+	}
+	p.phist = (p.phist << 1) | (ip>>2)&1
+	if p.sc != nil {
+		p.sc.pushGlobal(taken)
+	}
+	p.ctxOK = false
+}
+
+// ObserveBranch implements bp.BranchObserver: unconditional control flow
+// still shifts the global/path history, exactly as in the CBP harness.
+func (p *Predictor) ObserveBranch(ip, target uint64, kind trace.Kind, taken bool) {
+	if kind == trace.KindCondBr {
+		return // conditionals are handled by Train
+	}
+	p.pushHistory(ip, true)
+}
+
+func satUpdate(c int8, up bool, min, max int8) int8 {
+	if up {
+		if c < max {
+			return c + 1
+		}
+		return c
+	}
+	if c > min {
+		return c - 1
+	}
+	return c
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,250 @@
+// Package trace defines the instruction-trace model shared by the whole
+// simulator: instruction records, trace streams, in-memory trace buffers,
+// and a compact binary file format.
+//
+// A trace is the only interface between workload generation and measurement:
+// every analysis in this repository (prediction, pipeline timing, H2P
+// screening, dependency graphs, phase detection) consumes a Stream and
+// nothing else, mirroring the deployment assumptions of CBP2016 and
+// ChampSim that the paper builds on.
+package trace
+
+import "fmt"
+
+// Kind classifies an instruction for the timing model and the analyses.
+type Kind uint8
+
+// Instruction kinds. The branch kinds mirror the CBP/ChampSim taxonomy:
+// conditional branches are the prediction targets; unconditional kinds
+// still steer fetch and contribute to path history.
+const (
+	KindALU      Kind = iota // simple integer op
+	KindMul                  // integer multiply
+	KindDiv                  // integer divide
+	KindFP                   // floating-point op
+	KindLoad                 // memory read
+	KindStore                // memory write
+	KindCondBr               // conditional branch
+	KindJump                 // unconditional direct jump
+	KindIndirect             // unconditional indirect jump
+	KindCall                 // direct call
+	KindRet                  // return
+	KindNop                  // no-op / other
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	"alu", "mul", "div", "fp", "load", "store",
+	"condbr", "jump", "indirect", "call", "ret", "nop",
+}
+
+// String returns a short lower-case mnemonic for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined instruction kind.
+func (k Kind) Valid() bool { return k < kindCount }
+
+// IsBranch reports whether k redirects control flow.
+func (k Kind) IsBranch() bool { return k >= KindCondBr && k <= KindRet }
+
+// IsCond reports whether k is a conditional branch.
+func (k Kind) IsCond() bool { return k == KindCondBr }
+
+// NumRegs is the number of architectural registers in the trace model.
+const NumRegs = 32
+
+// NoReg marks an unused register slot in an instruction record.
+const NoReg = 0xFF
+
+// Inst is one dynamic instruction. The fields mirror what the paper's
+// methodology assumes is visible to analysis: the instruction pointer,
+// instruction type, branch target and resolved direction (the CBP2016
+// interface), plus register/memory operand identities and the written
+// value, which power the dependency-graph and register-value studies
+// (paper §IV-A, Fig 10).
+type Inst struct {
+	IP       uint64   // instruction pointer
+	Target   uint64   // branch target (branches only)
+	MemAddr  uint64   // effective address (loads/stores only)
+	DstValue uint64   // value written to DstReg (analyses use low 32 bits)
+	Kind     Kind     // instruction class
+	Taken    bool     // resolved direction (conditional branches only)
+	DstReg   uint8    // destination register or NoReg
+	SrcRegs  [2]uint8 // source registers, NoReg-padded
+}
+
+// IsBranch reports whether the instruction redirects control flow.
+func (i *Inst) IsBranch() bool { return i.Kind.IsBranch() }
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i *Inst) IsCondBranch() bool { return i.Kind == KindCondBr }
+
+// Reads reports whether the instruction reads register r.
+func (i *Inst) Reads(r uint8) bool {
+	return r != NoReg && (i.SrcRegs[0] == r || i.SrcRegs[1] == r)
+}
+
+// Writes reports whether the instruction writes register r.
+func (i *Inst) Writes(r uint8) bool { return r != NoReg && i.DstReg == r }
+
+// Stream is a forward-only producer of instructions.
+//
+// Next fills *inst and returns true, or returns false at end of trace.
+// After Next returns false, further calls must also return false.
+type Stream interface {
+	Next(inst *Inst) bool
+}
+
+// Closer is implemented by streams that hold resources (files, generator
+// goroutines). Callers that receive a Stream should close it if it
+// implements Closer.
+type Closer interface {
+	Close() error
+}
+
+// CloseStream closes s if it implements Closer.
+func CloseStream(s Stream) error {
+	if c, ok := s.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// FuncStream adapts a function to the Stream interface.
+type FuncStream func(*Inst) bool
+
+// Next implements Stream.
+func (f FuncStream) Next(inst *Inst) bool { return f(inst) }
+
+// Limit returns a stream that yields at most n instructions from s.
+func Limit(s Stream, n uint64) Stream {
+	remaining := n
+	return FuncStream(func(inst *Inst) bool {
+		if remaining == 0 {
+			return false
+		}
+		if !s.Next(inst) {
+			remaining = 0
+			return false
+		}
+		remaining--
+		return true
+	})
+}
+
+// Concat returns a stream that yields all instructions of each stream in
+// turn.
+func Concat(streams ...Stream) Stream {
+	idx := 0
+	return FuncStream(func(inst *Inst) bool {
+		for idx < len(streams) {
+			if streams[idx].Next(inst) {
+				return true
+			}
+			idx++
+		}
+		return false
+	})
+}
+
+// Count drains s and returns the number of instructions it produced.
+func Count(s Stream) uint64 {
+	var inst Inst
+	var n uint64
+	for s.Next(&inst) {
+		n++
+	}
+	return n
+}
+
+// Buffer is a materialized trace that can be replayed any number of times.
+// Replaying one buffer across predictor/pipeline configurations is how the
+// sweep experiments (Fig 1, Fig 5, Fig 7) hold the workload constant.
+type Buffer struct {
+	insts []Inst
+}
+
+// NewBuffer returns an empty buffer with capacity hint n.
+func NewBuffer(n int) *Buffer {
+	return &Buffer{insts: make([]Inst, 0, n)}
+}
+
+// Record drains s into a new Buffer.
+func Record(s Stream) *Buffer {
+	b := NewBuffer(1 << 16)
+	var inst Inst
+	for s.Next(&inst) {
+		b.insts = append(b.insts, inst)
+	}
+	return b
+}
+
+// Append adds one instruction to the buffer.
+func (b *Buffer) Append(inst Inst) { b.insts = append(b.insts, inst) }
+
+// Len returns the number of instructions in the buffer.
+func (b *Buffer) Len() int { return len(b.insts) }
+
+// At returns the i-th instruction.
+func (b *Buffer) At(i int) Inst { return b.insts[i] }
+
+// Stream returns a new independent reader over the buffer.
+func (b *Buffer) Stream() Stream {
+	i := 0
+	return FuncStream(func(inst *Inst) bool {
+		if i >= len(b.insts) {
+			return false
+		}
+		*inst = b.insts[i]
+		i++
+		return true
+	})
+}
+
+// Summary holds aggregate counts describing a trace.
+type Summary struct {
+	Insts        uint64 // total instructions
+	CondBranches uint64 // dynamic conditional branches
+	Branches     uint64 // all dynamic branches
+	Loads        uint64 // dynamic loads
+	Stores       uint64 // dynamic stores
+	StaticCondBr int    // distinct conditional-branch IPs
+	TakenRate    float64
+}
+
+// Summarize drains s and returns aggregate statistics.
+func Summarize(s Stream) Summary {
+	var sum Summary
+	var inst Inst
+	taken := uint64(0)
+	static := make(map[uint64]struct{})
+	for s.Next(&inst) {
+		sum.Insts++
+		switch {
+		case inst.Kind == KindCondBr:
+			sum.CondBranches++
+			sum.Branches++
+			static[inst.IP] = struct{}{}
+			if inst.Taken {
+				taken++
+			}
+		case inst.Kind.IsBranch():
+			sum.Branches++
+		case inst.Kind == KindLoad:
+			sum.Loads++
+		case inst.Kind == KindStore:
+			sum.Stores++
+		}
+	}
+	sum.StaticCondBr = len(static)
+	if sum.CondBranches > 0 {
+		sum.TakenRate = float64(taken) / float64(sum.CondBranches)
+	}
+	return sum
+}

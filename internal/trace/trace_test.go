@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if KindALU.String() != "alu" || KindCondBr.String() != "condbr" {
+		t.Errorf("unexpected kind names: %v %v", KindALU, KindCondBr)
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind should still render")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	branches := []Kind{KindCondBr, KindJump, KindIndirect, KindCall, KindRet}
+	for _, k := range branches {
+		if !k.IsBranch() {
+			t.Errorf("%v should be a branch", k)
+		}
+	}
+	nonBranches := []Kind{KindALU, KindMul, KindDiv, KindFP, KindLoad, KindStore, KindNop}
+	for _, k := range nonBranches {
+		if k.IsBranch() {
+			t.Errorf("%v should not be a branch", k)
+		}
+	}
+	if !KindCondBr.IsCond() || KindJump.IsCond() {
+		t.Error("IsCond misclassifies")
+	}
+}
+
+func TestInstReadsWrites(t *testing.T) {
+	i := Inst{DstReg: 3, SrcRegs: [2]uint8{1, NoReg}}
+	if !i.Reads(1) || i.Reads(2) || i.Reads(NoReg) {
+		t.Error("Reads misclassifies")
+	}
+	if !i.Writes(3) || i.Writes(1) || i.Writes(NoReg) {
+		t.Error("Writes misclassifies")
+	}
+}
+
+func synthetic(n int) []Inst {
+	insts := make([]Inst, 0, n)
+	ip := uint64(0x400000)
+	for j := 0; j < n; j++ {
+		inst := Inst{IP: ip, Kind: KindALU, DstReg: NoReg, SrcRegs: [2]uint8{NoReg, NoReg}}
+		switch j % 5 {
+		case 0:
+			inst.Kind = KindCondBr
+			inst.Taken = j%2 == 0
+			inst.Target = ip + 0x40
+			inst.SrcRegs[0] = uint8(j % 30)
+		case 1:
+			inst.Kind = KindLoad
+			inst.MemAddr = uint64(j) * 64
+			inst.DstReg = uint8(j % 30)
+		case 2:
+			inst.Kind = KindStore
+			inst.MemAddr = uint64(j) * 8
+			inst.SrcRegs[0] = uint8(j % 30)
+		case 3:
+			inst.DstReg = uint8(j % 30)
+			inst.DstValue = uint64(j * 31)
+			inst.SrcRegs[0] = uint8((j + 1) % 30)
+			inst.SrcRegs[1] = uint8((j + 2) % 30)
+		}
+		insts = append(insts, inst)
+		ip += 4
+	}
+	return insts
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	insts := synthetic(1000)
+	b := NewBuffer(0)
+	for _, inst := range insts {
+		b.Append(inst)
+	}
+	if b.Len() != len(insts) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(insts))
+	}
+	s := b.Stream()
+	var got Inst
+	for i := range insts {
+		if !s.Next(&got) {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if got != insts[i] {
+			t.Fatalf("inst %d mismatch: %+v != %+v", i, got, insts[i])
+		}
+	}
+	if s.Next(&got) {
+		t.Error("stream should be exhausted")
+	}
+	// Two streams over one buffer are independent.
+	s1, s2 := b.Stream(), b.Stream()
+	var a, c Inst
+	s1.Next(&a)
+	s1.Next(&a)
+	s2.Next(&c)
+	if c != insts[0] {
+		t.Error("second stream not independent")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	b := NewBuffer(0)
+	for _, inst := range synthetic(100) {
+		b.Append(inst)
+	}
+	if n := Count(Limit(b.Stream(), 37)); n != 37 {
+		t.Errorf("Limit(37) yielded %d", n)
+	}
+	if n := Count(Limit(b.Stream(), 1000)); n != 100 {
+		t.Errorf("Limit(1000) over 100 insts yielded %d", n)
+	}
+	if n := Count(Limit(b.Stream(), 0)); n != 0 {
+		t.Errorf("Limit(0) yielded %d", n)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	b1, b2 := NewBuffer(0), NewBuffer(0)
+	for i, inst := range synthetic(10) {
+		if i < 4 {
+			b1.Append(inst)
+		} else {
+			b2.Append(inst)
+		}
+	}
+	if n := Count(Concat(b1.Stream(), b2.Stream())); n != 10 {
+		t.Errorf("Concat yielded %d, want 10", n)
+	}
+	if n := Count(Concat()); n != 0 {
+		t.Errorf("empty Concat yielded %d", n)
+	}
+}
+
+func TestRecord(t *testing.T) {
+	b := NewBuffer(0)
+	for _, inst := range synthetic(50) {
+		b.Append(inst)
+	}
+	copied := Record(b.Stream())
+	if copied.Len() != 50 {
+		t.Fatalf("Record copied %d, want 50", copied.Len())
+	}
+	for i := 0; i < 50; i++ {
+		if copied.At(i) != b.At(i) {
+			t.Fatalf("inst %d differs after Record", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := NewBuffer(0)
+	for _, inst := range synthetic(1000) {
+		b.Append(inst)
+	}
+	sum := Summarize(b.Stream())
+	if sum.Insts != 1000 {
+		t.Errorf("Insts = %d", sum.Insts)
+	}
+	if sum.CondBranches != 200 {
+		t.Errorf("CondBranches = %d, want 200", sum.CondBranches)
+	}
+	if sum.Loads != 200 || sum.Stores != 200 {
+		t.Errorf("Loads/Stores = %d/%d, want 200/200", sum.Loads, sum.Stores)
+	}
+	if sum.TakenRate != 0.5 {
+		t.Errorf("TakenRate = %v, want 0.5", sum.TakenRate)
+	}
+	if sum.StaticCondBr != 200 {
+		t.Errorf("StaticCondBr = %d, want 200", sum.StaticCondBr)
+	}
+}
+
+func TestCloseStream(t *testing.T) {
+	if err := CloseStream(FuncStream(func(*Inst) bool { return false })); err != nil {
+		t.Errorf("CloseStream on plain stream: %v", err)
+	}
+	cs := &closableStream{}
+	if err := CloseStream(cs); err != nil || !cs.closed {
+		t.Errorf("CloseStream did not close: err=%v closed=%v", err, cs.closed)
+	}
+}
+
+type closableStream struct{ closed bool }
+
+func (c *closableStream) Next(*Inst) bool { return false }
+func (c *closableStream) Close() error    { c.closed = true; return nil }

@@ -1,0 +1,94 @@
+package workload
+
+// lcfSuite defines the six large-code-footprint applications of Table II:
+// 602.gcc_s plus five live-deployment workloads (game, RDBMS, NoSQL
+// database, real-time analytics, streaming server). Their defining
+// property is a cold static footprint executed in short, phase-shifting
+// bursts: most static branch IPs run fewer than 100 times per slice, with
+// a wide accuracy spread (Figs 3 and 4) and long recurrence intervals
+// (Fig 9). Each carries only a handful of H2Ps (Table II).
+func lcfSuite() []*Spec {
+	common := mix{
+		loopTrip:       7,
+		loopCount:      5,
+		patterns:       80,
+		patternLen:     10,
+		patternsActive: 5,
+		biased:         400,
+		biasedPerRound: 6,
+		biasedAcc:      0.97,
+		maxGap:         4,
+		rareEvery:      1, // cold code on every round: the defining trait
+		phases:         10,
+		callDepth:      2,
+		padding:        26,
+		memOps:         8,
+		memRandomFrac:  0.25,
+		takenSkew:      0.55,
+		rarePhaseFlip:  0.25,
+	}
+	mk := func(f func(m *mix)) mix { m := common; f(&m); return m }
+
+	return []*Spec{
+		{
+			Name: "602.gcc_s", Suite: "lcf", NumInputs: 1,
+			Paper: PaperStats{StaticBranches: 6152, ExecsPerBranch: 715.6, Accuracy: 0.88, H2PsPerSlice: 5},
+			mix: mk(func(m *mix) {
+				m.rareStaticPaper, m.rareMinStatic = 6000, 512
+				m.rareLen, m.rareRandomFrac = 20, 0.30
+				m.h2pPairs, m.h2pSolo, m.h2pPerRound, m.h2pNoise = 2, 1, 2, 0.30
+			}),
+		},
+		{
+			Name: "game", Suite: "lcf", NumInputs: 1,
+			Paper: PaperStats{StaticBranches: 45996, ExecsPerBranch: 55.2, Accuracy: 0.73, H2PsPerSlice: 1},
+			mix: mk(func(m *mix) {
+				m.rareStaticPaper, m.rareMinStatic = 46000, 4096
+				m.rareLen, m.rareRandomFrac = 40, 0.55
+				m.h2pSolo, m.h2pPerRound, m.h2pNoise = 1, 2, 0.30
+				m.biasedPerRound = 4
+				m.phases = 12
+			}),
+		},
+		{
+			Name: "rdbms", Suite: "lcf", NumInputs: 1,
+			Paper: PaperStats{StaticBranches: 16096, ExecsPerBranch: 314.3, Accuracy: 0.92, H2PsPerSlice: 8},
+			mix: mk(func(m *mix) {
+				m.rareStaticPaper, m.rareMinStatic = 16000, 1024
+				m.rareLen, m.rareRandomFrac = 24, 0.13
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 4, 2, 0.25
+				m.phases = 11
+			}),
+		},
+		{
+			Name: "nosql", Suite: "lcf", NumInputs: 1,
+			Paper: PaperStats{StaticBranches: 7449, ExecsPerBranch: 331.0, Accuracy: 0.93, H2PsPerSlice: 2},
+			mix: mk(func(m *mix) {
+				m.rareStaticPaper, m.rareMinStatic = 7400, 512
+				m.rareLen, m.rareRandomFrac = 18, 0.11
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 1, 2, 0.25
+				m.phases = 9
+			}),
+		},
+		{
+			Name: "rt-analytics", Suite: "lcf", NumInputs: 1,
+			Paper: PaperStats{StaticBranches: 5595, ExecsPerBranch: 856.0, Accuracy: 0.83, H2PsPerSlice: 6},
+			mix: mk(func(m *mix) {
+				m.rareStaticPaper, m.rareMinStatic = 5500, 640
+				m.rareLen, m.rareRandomFrac = 20, 0.42
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 3, 3, 0.30
+				m.phases = 8
+			}),
+		},
+		{
+			Name: "streaming", Suite: "lcf", NumInputs: 1,
+			Paper: PaperStats{StaticBranches: 3144, ExecsPerBranch: 1404.7, Accuracy: 0.78, H2PsPerSlice: 6},
+			mix: mk(func(m *mix) {
+				m.rareStaticPaper, m.rareMinStatic = 3100, 768
+				m.rareLen, m.rareRandomFrac = 20, 0.62
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 3, 6, 0.40
+				m.phases = 8
+			}),
+		},
+	}
+}

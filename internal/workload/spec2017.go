@@ -1,0 +1,156 @@
+package workload
+
+// specSuite defines the nine SPECint-2017-like workloads. The PaperStats
+// columns are transcribed from Table I; the mix knobs are tuned so the
+// generated traces reproduce the row's signature under TAGE-SC-L 8KB:
+// overall accuracy, the H2P count per slice, and the share of
+// mispredictions concentrated in H2Ps. EXPERIMENTS.md records the
+// measured-vs-paper comparison.
+func specSuite() []*Spec {
+	common := mix{
+		loopTrip:       8,
+		loopCount:      6,
+		patterns:       120,
+		patternLen:     12,
+		patternsActive: 6,
+		biased:         600,
+		maxGap:         5,
+		rareLen:        10,
+		rareEvery:      8,
+		rareRandomFrac: 0.10,
+		phases:         6,
+		callDepth:      1,
+		padding:        30,
+		memOps:         6,
+		memRandomFrac:  0.05,
+		takenSkew:      0.88,
+	}
+	mk := func(f func(m *mix)) mix { m := common; f(&m); return m }
+
+	return []*Spec{
+		{
+			Name: "600.perlbench_s", Suite: "specint2017", NumInputs: 4,
+			Paper: PaperStats{StaticBranches: 13865, Accuracy: 0.987, AccuracyExclH2P: 0.989,
+				H2PsPerSlice: 1, MispredShareH2P: 0.173},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 1, 1, 0.15
+				m.depEasy = true
+				m.biasedPerRound, m.biasedAcc = 10, 0.99
+				m.patterns, m.patternsActive = 300, 10
+				m.biased = 1500
+				m.rareStaticPaper, m.rareMinStatic = 12000, 400
+				m.phases = 7
+			}),
+		},
+		{
+			Name: "605.mcf_s", Suite: "specint2017", NumInputs: 8,
+			Paper: PaperStats{StaticBranches: 1755, Accuracy: 0.921, AccuracyExclH2P: 0.998,
+				H2PsPerSlice: 10, MispredShareH2P: 0.969},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 5, 8, 0.30
+				m.maxGap = 6
+				m.biasedPerRound, m.biasedAcc = 4, 0.998
+				m.patterns, m.patternsActive = 40, 4
+				m.biased = 120
+				m.rareStaticPaper, m.rareMinStatic, m.rareEvery = 800, 64, 16
+				m.phases = 11
+			}),
+		},
+		{
+			Name: "620.omnetpp_s", Suite: "specint2017", NumInputs: 5,
+			Paper: PaperStats{StaticBranches: 7099, Accuracy: 0.975, AccuracyExclH2P: 0.994,
+				H2PsPerSlice: 8, MispredShareH2P: 0.776},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 4, 2, 0.18
+				m.biasedPerRound, m.biasedAcc = 12, 0.993
+				m.patterns, m.patternsActive = 200, 8
+				m.biased = 800
+				m.rareStaticPaper, m.rareMinStatic = 6000, 256
+				m.phases = 12
+			}),
+		},
+		{
+			Name: "623.xalancbmk_s", Suite: "specint2017", NumInputs: 4,
+			Paper: PaperStats{StaticBranches: 8563, Accuracy: 0.997, AccuracyExclH2P: 0.998,
+				H2PsPerSlice: 6, MispredShareH2P: 0.286},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 3, 1, 0.10
+				m.loopTrip = 24
+				m.biasedPerRound, m.biasedAcc = 8, 0.998
+				m.patterns, m.patternsActive = 300, 14
+				m.biased = 1200
+				m.rareStaticPaper, m.rareMinStatic, m.rareEvery = 7000, 256, 12
+				m.rareRandomFrac = 0.04
+				m.phases = 7
+			}),
+		},
+		{
+			Name: "625.x264_s", Suite: "specint2017", NumInputs: 14,
+			Paper: PaperStats{StaticBranches: 4892, Accuracy: 0.946, AccuracyExclH2P: 0.975,
+				H2PsPerSlice: 1, MispredShareH2P: 0.542},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 1, 5, 0.30
+				m.depEasy = true
+				m.maxGap = 2
+				m.biasedPerRound, m.biasedAcc = 10, 0.97
+				m.patterns, m.patternsActive = 150, 6
+				m.biased = 700
+				m.rareStaticPaper, m.rareMinStatic = 4000, 200
+				m.phases = 14
+			}),
+		},
+		{
+			Name: "631.deepsjeng_s", Suite: "specint2017", NumInputs: 12,
+			Paper: PaperStats{StaticBranches: 3162, Accuracy: 0.946, AccuracyExclH2P: 0.963,
+				H2PsPerSlice: 13, MispredShareH2P: 0.312},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pSolo, m.h2pPerRound, m.h2pNoise = 6, 1, 4, 0.25
+				m.biasedPerRound, m.biasedAcc = 20, 0.962
+				m.patterns, m.patternsActive = 100, 5
+				m.biased = 500
+				m.rareStaticPaper, m.rareMinStatic = 2500, 128
+				m.phases = 9
+			}),
+		},
+		{
+			Name: "641.leela_s", Suite: "specint2017", NumInputs: 10,
+			Paper: PaperStats{StaticBranches: 3623, Accuracy: 0.880, AccuracyExclH2P: 0.960,
+				H2PsPerSlice: 34, MispredShareH2P: 0.664},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pSolo, m.h2pPerRound, m.h2pNoise = 15, 4, 12, 0.35
+				m.loopTrip = 5
+				m.biasedPerRound, m.biasedAcc = 12, 0.955
+				m.patterns, m.patternsActive = 80, 4
+				m.biased = 400
+				m.rareStaticPaper, m.rareMinStatic = 2800, 128
+				m.phases = 9
+			}),
+		},
+		{
+			Name: "648.exchange2_s", Suite: "specint2017", NumInputs: 5,
+			Paper: PaperStats{StaticBranches: 3765, Accuracy: 0.986, AccuracyExclH2P: 0.992,
+				H2PsPerSlice: 7, MispredShareH2P: 0.447},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pSolo, m.h2pPerRound, m.h2pNoise = 3, 1, 1, 0.15
+				m.biasedPerRound, m.biasedAcc = 10, 0.991
+				m.patterns, m.patternsActive = 160, 7
+				m.biased = 650
+				m.rareStaticPaper, m.rareMinStatic = 3000, 128
+				m.phases = 8
+			}),
+		},
+		{
+			Name: "657.xz_s", Suite: "specint2017", NumInputs: 5,
+			Paper: PaperStats{StaticBranches: 2373, Accuracy: 0.897, AccuracyExclH2P: 0.980,
+				H2PsPerSlice: 10, MispredShareH2P: 0.805},
+			mix: mk(func(m *mix) {
+				m.h2pPairs, m.h2pPerRound, m.h2pNoise = 5, 9, 0.35
+				m.biasedPerRound, m.biasedAcc = 8, 0.985
+				m.patterns, m.patternsActive = 60, 4
+				m.biased = 300
+				m.rareStaticPaper, m.rareMinStatic = 1800, 96
+				m.phases = 8
+			}),
+		},
+	}
+}

@@ -1,0 +1,92 @@
+// Package workload defines the synthetic benchmark suites that stand in
+// for the paper's traces: nine SPECint-2017-like programs (Table I) and
+// six large-code-footprint (LCF) applications (Table II).
+//
+// Each workload is a parameterized generator tuned to reproduce the
+// trace-visible signature the paper reports for its counterpart: static
+// branch footprint, TAGE-SC-L 8KB accuracy, the number of systematically
+// hard-to-predict (H2P) branches, the share of mispredictions they cause,
+// phase structure, and — for the LCF suite — the rare-branch execution
+// distribution. See DESIGN.md §1 for the substitution argument.
+package workload
+
+import (
+	"fmt"
+
+	"branchlab/internal/program"
+	"branchlab/internal/trace"
+	"branchlab/internal/xrand"
+)
+
+// PaperStats records the published Table I / Table II row a workload is
+// modeled after, for documentation and experiment reports.
+type PaperStats struct {
+	StaticBranches  int     // total static branches (Table I) / branch IPs (Table II)
+	Accuracy        float64 // TAGE-SC-L 8KB accuracy
+	AccuracyExclH2P float64 // accuracy excluding H2Ps (Table I only)
+	H2PsPerSlice    int     // static H2Ps per 30M slice
+	MispredShareH2P float64 // fraction of mispredictions due to H2Ps
+	ExecsPerBranch  float64 // avg dynamic execs per static branch (Table II)
+}
+
+// Spec is one synthetic workload.
+type Spec struct {
+	Name      string
+	Suite     string // "specint2017" or "lcf"
+	NumInputs int    // distinct application inputs (Table I "# App. Inputs")
+	Paper     PaperStats
+	mix       mix
+}
+
+// seed derives the deterministic seed for one (workload, input) pair.
+func (s *Spec) seed(input int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range []byte(s.Name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return xrand.Mix64(h ^ uint64(input)*0x9e3779b97f4a7c15)
+}
+
+// Payload returns the program payload for one application input.
+func (s *Spec) Payload(input int) program.Payload {
+	if input < 0 || input >= s.NumInputs {
+		panic(fmt.Sprintf("workload %s: input %d out of range [0,%d)", s.Name, input, s.NumInputs))
+	}
+	m := s.mix
+	return func(e *program.Emitter) { newGen(e, m, input).run() }
+}
+
+// Stream starts the workload for one input with the given instruction
+// budget. Callers should close the stream via trace.CloseStream when
+// abandoning it early.
+func (s *Spec) Stream(input int, budget uint64) trace.Stream {
+	return program.Run(s.seed(input), budget, s.Payload(input))
+}
+
+// Record materializes the trace for one input.
+func (s *Spec) Record(input int, budget uint64) *trace.Buffer {
+	return program.Record(s.seed(input), budget, s.Payload(input))
+}
+
+// SPECint2017Like returns the nine-benchmark suite modeled on Table I
+// (603.gcc_s is excluded there and appears in the LCF suite, as in the
+// paper).
+func SPECint2017Like() []*Spec { return specSuite() }
+
+// LCFLike returns the six large-code-footprint applications of Table II.
+func LCFLike() []*Spec { return lcfSuite() }
+
+// ByName returns the spec with the given name from either suite.
+func ByName(name string) (*Spec, bool) {
+	for _, s := range SPECint2017Like() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range LCFLike() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
