@@ -1,6 +1,8 @@
 package branchlab_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"branchlab"
@@ -47,6 +49,34 @@ func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }
 func BenchmarkAllocStats(b *testing.B) { benchExperiment(b, "alloc") }
 func BenchmarkCNNHelper(b *testing.B)  { benchExperiment(b, "cnn") }
 func BenchmarkPhaseCond(b *testing.B)  { benchExperiment(b, "phasecond") }
+
+// BenchmarkFig5Parallel contrasts the engine at 1 worker against
+// NumCPU workers on the heaviest IPC sweep; the ratio of the two
+// timings is the engine speedup recorded in EXPERIMENTS.md.
+func BenchmarkFig5Parallel(b *testing.B) {
+	r, ok := experiments.ByID("fig5")
+	if !ok {
+		b.Fatal("fig5 not found")
+	}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Quick()
+			cfg.Workers = workers
+			var sink *report.Artifact
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = r.Run(cfg)
+			}
+			if sink == nil || sink.ID != "fig5" {
+				b.Fatal("experiment produced no artifact")
+			}
+		})
+	}
+}
 
 // --- ablations: the design choices DESIGN.md calls out -----------------
 

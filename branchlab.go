@@ -30,6 +30,7 @@ import (
 	"branchlab/internal/bp"
 	"branchlab/internal/cnn"
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/experiments"
 	"branchlab/internal/phase"
 	"branchlab/internal/pipeline"
@@ -188,6 +189,8 @@ func LoadHelper(r io.Reader) (*HelperModel, error) { return cnn.ReadModel(r) }
 func Experiments() []experiments.Runner { return experiments.All() }
 
 // ExperimentConfig is the scaling configuration for experiment drivers.
+// Its Workers field selects how many engine workers each driver's work
+// units run on (0 = NumCPU).
 type ExperimentConfig = experiments.Config
 
 // DefaultExperimentConfig returns the configuration used by
@@ -196,3 +199,17 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
 
 // QuickExperimentConfig returns a reduced configuration for smoke runs.
 func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }
+
+// EnginePool schedules independent simulation work units onto a fixed
+// set of workers; results merge deterministically in submission order.
+type EnginePool = engine.Pool
+
+// NewEnginePool returns a pool with the given worker count (<= 0 selects
+// NumCPU). Pools are cheap; they hold no goroutines between calls.
+func NewEnginePool(workers int) *EnginePool { return engine.New(workers) }
+
+// ParallelMap runs fn(0) .. fn(n-1) on the pool and returns the results
+// in index order — byte-identical merges regardless of worker count.
+func ParallelMap[T any](p *EnginePool, n int, fn func(i int) T) []T {
+	return engine.Map(p, n, fn)
+}

@@ -6,8 +6,13 @@
 //
 //	bpsim -workload 605.mcf_s -predictor tage-sc-l-8 -budget 2000000
 //	bpsim -workload game -predictor tage-sc-l-64 -pipeline 4
+//	bpsim -workload game -pipeline 1,4,16 -parallel 3
 //	bpsim -trace trace.blt -predictor gshare
 //	bpsim -list
+//
+// -pipeline accepts a comma-separated list of scales; the timed runs
+// execute on the engine worker pool (-parallel workers, 0 = NumCPU) and
+// print in scale order regardless of completion order.
 package main
 
 import (
@@ -15,8 +20,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/pipeline"
 	"branchlab/internal/trace"
 	"branchlab/internal/workload"
@@ -31,7 +39,8 @@ func main() {
 		predName     = flag.String("predictor", "tage-sc-l-8", "predictor name")
 		budget       = flag.Uint64("budget", 2_000_000, "instruction budget")
 		sliceLen     = flag.Uint64("slice", 500_000, "slice length for H2P screening")
-		pipeScale    = flag.Int("pipeline", 0, "run the pipeline model at this scale (0 = accuracy only)")
+		pipeScales   = flag.String("pipeline", "", "pipeline scale(s), comma-separated (empty = accuracy only)")
+		parallel     = flag.Int("parallel", 0, "engine workers for the pipeline sweep (0 = NumCPU)")
 		list         = flag.Bool("list", false, "list workloads and predictors")
 		top          = flag.Int("top", 0, "print the top-N mispredicting branches")
 	)
@@ -54,15 +63,38 @@ func main() {
 		return
 	}
 
-	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, *pipeScale); err != nil {
+	scales, err := parseScales(*pipeScales)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpsim:", err)
+		os.Exit(1)
+	}
+	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, scales, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
 }
 
+// parseScales parses the -pipeline flag: "" or "0" disables the timing
+// model; "4" or "1,4,16" selects the scales to sweep.
+func parseScales(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -pipeline scale %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 var topN int
 
-func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScale int) error {
+func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScales []int, parallel int) error {
 	pred, err := zoo.New(predName)
 	if err != nil {
 		return err
@@ -142,17 +174,50 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 		}
 	}
 
-	if pipeScale > 0 {
-		s2, cleanup2, err := open()
-		if err != nil {
-			return err
+	if len(pipeScales) > 0 {
+		// Each scale is an independent work unit with its own stream and
+		// predictor, printed in scale order. Multi-scale sweeps over a
+		// synthetic workload record the trace once (bounded by -budget)
+		// and replay the buffer; a single scale or a -trace file streams
+		// at O(1) memory, since trace files can be arbitrarily large.
+		openScale := open
+		if traceFile == "" && len(pipeScales) > 1 {
+			s2, cleanup2, err := open()
+			if err != nil {
+				return err
+			}
+			buf := trace.Record(s2)
+			cleanup2()
+			openScale = func() (trace.Stream, func(), error) {
+				return buf.Stream(), func() {}, nil
+			}
 		}
-		defer cleanup2()
-		pred2, _ := zoo.New(predName)
-		res := pipeline.New(pipeline.Skylake().Scaled(pipeScale)).
-			Run(s2, pipeline.Options{Predictor: pred2})
-		fmt.Printf("pipeline %dx:      IPC %.3f (%.2f MPKI, %.2f L1D miss PKI)\n",
-			pipeScale, res.IPC, res.MPKI, res.L1DMissPKI)
+		type timed struct {
+			res pipeline.Result
+			err error
+		}
+		results := engine.MapSlice(engine.New(parallel), pipeScales, func(scale int, _ int) timed {
+			s2, cleanup2, err := openScale()
+			if err != nil {
+				return timed{err: err}
+			}
+			defer cleanup2()
+			pred2, err := zoo.New(predName)
+			if err != nil {
+				return timed{err: err}
+			}
+			res := pipeline.New(pipeline.Skylake().Scaled(scale)).
+				Run(s2, pipeline.Options{Predictor: pred2})
+			return timed{res: res}
+		})
+		for i, scale := range pipeScales {
+			if results[i].err != nil {
+				return results[i].err
+			}
+			res := results[i].res
+			fmt.Printf("pipeline %dx:      IPC %.3f (%.2f MPKI, %.2f L1D miss PKI)\n",
+				scale, res.IPC, res.MPKI, res.L1DMissPKI)
+		}
 	}
 	return nil
 }

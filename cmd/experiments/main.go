@@ -9,6 +9,11 @@
 //	experiments -run fig1
 //	experiments -run all -budget 3000000
 //	experiments -run table1 -quick
+//	experiments -run all -quick -parallel 8
+//
+// Each experiment's independent simulation cells run on the engine
+// worker pool; -parallel selects the worker count (0 = NumCPU, 1 =
+// sequential). Output is byte-identical at every worker count.
 package main
 
 import (
@@ -22,11 +27,12 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment id or 'all'")
-		list   = flag.Bool("list", false, "list experiments")
-		quick  = flag.Bool("quick", false, "use the reduced quick configuration")
-		budget = flag.Uint64("budget", 0, "override instruction budget per workload")
-		slice  = flag.Uint64("slice", 0, "override slice length")
+		run      = flag.String("run", "all", "experiment id or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		quick    = flag.Bool("quick", false, "use the reduced quick configuration")
+		budget   = flag.Uint64("budget", 0, "override instruction budget per workload")
+		slice    = flag.Uint64("slice", 0, "override slice length")
+		parallel = flag.Int("parallel", 0, "engine workers per experiment (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -47,6 +53,7 @@ func main() {
 	if *slice > 0 {
 		cfg.SliceLen = *slice
 	}
+	cfg.Workers = *parallel
 
 	runners := experiments.All()
 	if *run != "all" {
@@ -57,10 +64,13 @@ func main() {
 		}
 		runners = []experiments.Runner{r}
 	}
+	// Artifacts go to stdout; timing goes to stderr so stdout is
+	// byte-identical across runs and worker counts (diff-able).
 	for _, r := range runners {
 		start := time.Now()
 		artifact := r.Run(cfg)
 		fmt.Print(artifact.String())
-		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

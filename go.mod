@@ -1,0 +1,3 @@
+module branchlab
+
+go 1.24

@@ -1,0 +1,104 @@
+// Package engine is the parallel experiment engine: a worker-pool
+// scheduler for independent simulation work units. Each unit is a pure
+// function of its index; results are returned in submission order, so
+// the merged output of a parallel run is byte-identical to a
+// single-worker run. The experiment drivers express their inner loops —
+// one unit per (workload, input, pipeline-scale, storage-budget) cell —
+// as Map calls over a Pool.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool schedules independent work units onto a fixed set of workers.
+// The zero-cost construction holds no goroutines; workers are spawned
+// per Map call and torn down when it returns.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; workers <= 0 selects
+// runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(0) .. fn(n-1) on the pool and returns the n results
+// indexed by submission order, regardless of completion order or worker
+// count. fn must be safe to call from multiple goroutines; units must
+// not depend on each other. A panic in any unit is re-raised on the
+// calling goroutine after all workers have drained.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	var aborted atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// Capture the stack here, inside the unwinding
+							// goroutine, so the re-raise on the caller keeps
+							// the failing unit's frames.
+							panicOnce.Do(func() {
+								panicked = fmt.Errorf("engine: work unit %d panicked: %v\n%s",
+									i, r, debug.Stack())
+								aborted.Store(true)
+							})
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if aborted.Load() {
+			break // a unit panicked; don't start the rest of the sweep
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}
+
+// MapSlice runs fn over each element of in and returns the results in
+// element order. It is Map with the common slice-of-inputs plumbing.
+func MapSlice[S, T any](p *Pool, in []S, fn func(item S, i int) T) []T {
+	return Map(p, len(in), func(i int) T { return fn(in[i], i) })
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToNumCPU(t *testing.T) {
+	for _, w := range []int{0, -1, -100} {
+		if got := New(w).Workers(); got != runtime.NumCPU() {
+			t.Errorf("New(%d).Workers() = %d, want %d", w, got, runtime.NumCPU())
+		}
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Errorf("New(3).Workers() = %d", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(New(4), 0, func(int) int { return 1 }); out != nil {
+		t.Errorf("Map over 0 units = %v, want nil", out)
+	}
+}
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, runtime.NumCPU()} {
+		p := New(workers)
+		out := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryUnitExactlyOnce(t *testing.T) {
+	var calls [200]int32
+	Map(New(8), len(calls), func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Errorf("unit %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	// Two units rendezvous with each other; a sequential scheduler would
+	// deadlock, so the barrier completing proves concurrent execution.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	done := make(chan struct{})
+	go func() {
+		Map(New(2), 2, func(i int) struct{} {
+			barrier.Done()
+			barrier.Wait()
+			return struct{}{}
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func TestMapSingleWorkerIsSequential(t *testing.T) {
+	// With one worker the units must run in index order on the calling
+	// goroutine, so unsynchronized writes to shared state are safe.
+	order := make([]int, 0, 50)
+	Map(New(1), 50, func(i int) struct{} {
+		order = append(order, i)
+		return struct{}{}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("1-worker order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("workers=%d: panic did not propagate", workers)
+					return
+				}
+				if !strings.Contains(toString(r), "boom") {
+					t.Errorf("workers=%d: panic value %v lost the cause", workers, r)
+				}
+			}()
+			Map(New(workers), 10, func(i int) int {
+				if i == 7 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestMapSlice(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out := MapSlice(New(4), in, func(s string, i int) int { return len(s) + i })
+	want := []int{1, 3, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func toString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}

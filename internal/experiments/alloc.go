@@ -5,6 +5,7 @@ import (
 
 	"branchlab/internal/cnn"
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/report"
 	"branchlab/internal/stats"
 	"branchlab/internal/tage"
@@ -21,30 +22,44 @@ func Alloc(cfg Config) *report.Artifact {
 	var h2pAllocs, h2pUnique, otherAllocs, otherUnique []uint64
 	var h2pShare, otherShare []float64
 
-	for _, s := range workload.SPECint2017Like() {
-		tr := s.Record(0, cfg.Budget)
-		pred := tage.New(tage.Config8KB())
-		telemetry := pred.EnableAllocTracking()
-		col := core.NewCollector(cfg.SliceLen)
-		core.Run(tr.Stream(), pred, col)
-		set := core.PaperCriteria().Scaled(cfg.SliceLen).Screen(col).Set()
-		for ip, b := range col.Totals() {
-			if b.Execs < 32 {
-				continue // ignore branches with no meaningful allocation history
+	// One work unit per benchmark, classifying its branches in IP order so
+	// the per-class slices (and the float means over them) merge
+	// deterministically.
+	type allocClass struct {
+		allocs, unique []uint64
+		share          []float64
+	}
+	type allocResult struct{ h2p, other allocClass }
+	results := engine.MapSlice(cfg.Pool(), workload.SPECint2017Like(),
+		func(s *workload.Spec, _ int) allocResult {
+			tr := s.Record(0, cfg.Budget)
+			pred := tage.New(tage.Config8KB())
+			telemetry := pred.EnableAllocTracking()
+			col := core.NewCollector(cfg.SliceLen)
+			core.Run(tr.Stream(), pred, col)
+			set := core.PaperCriteria().Scaled(cfg.SliceLen).Screen(col).Set()
+			var res allocResult
+			for _, b := range sortedTotals(col) {
+				if b.Execs < 32 {
+					continue // ignore branches with no meaningful allocation history
+				}
+				cls := &res.other
+				if set[b.IP] {
+					cls = &res.h2p
+				}
+				cls.allocs = append(cls.allocs, telemetry.Allocs(b.IP))
+				cls.unique = append(cls.unique, uint64(telemetry.UniqueEntries(b.IP)))
+				cls.share = append(cls.share, telemetry.ShareOfAllocs(b.IP))
 			}
-			allocs := telemetry.Allocs(ip)
-			unique := uint64(telemetry.UniqueEntries(ip))
-			share := telemetry.ShareOfAllocs(ip)
-			if set[ip] {
-				h2pAllocs = append(h2pAllocs, allocs)
-				h2pUnique = append(h2pUnique, unique)
-				h2pShare = append(h2pShare, share)
-			} else {
-				otherAllocs = append(otherAllocs, allocs)
-				otherUnique = append(otherUnique, unique)
-				otherShare = append(otherShare, share)
-			}
-		}
+			return res
+		})
+	for _, res := range results {
+		h2pAllocs = append(h2pAllocs, res.h2p.allocs...)
+		h2pUnique = append(h2pUnique, res.h2p.unique...)
+		h2pShare = append(h2pShare, res.h2p.share...)
+		otherAllocs = append(otherAllocs, res.other.allocs...)
+		otherUnique = append(otherUnique, res.other.unique...)
+		otherShare = append(otherShare, res.other.share...)
 	}
 
 	tab := report.NewTable("", "class", "branches", "median allocs", "median unique entries", "mean share of allocs")
@@ -70,53 +85,74 @@ func CNN(cfg Config) *report.Artifact {
 	tab := report.NewTable("", "benchmark", "H2P", "TAGE acc", "helper acc", "improvement")
 	var improved, total int
 
-	for _, s := range []string{"605.mcf_s", "657.xz_s", "641.leela_s"} {
-		spec, ok := workload.ByName(s)
-		if !ok {
+	// One work unit per benchmark: train offline on early inputs, deploy
+	// on an unseen one. Units that find no usable H2P return nil.
+	type cnnRow struct {
+		cells  []string
+		better bool
+	}
+	rows := engine.MapSlice(cfg.Pool(), []string{"605.mcf_s", "657.xz_s", "641.leela_s"},
+		func(s string, _ int) *cnnRow {
+			spec, ok := workload.ByName(s)
+			if !ok {
+				return nil
+			}
+			tr0 := spec.Record(0, cfg.Budget)
+			target := topHeavyHitterOf(tr0, cfg)
+			if target == 0 {
+				return nil
+			}
+			// Offline training: samples aggregated over the first two
+			// inputs, replaying the already-recorded input-0 trace.
+			var samples []cnn.Sample
+			trainInputs := 2
+			if spec.NumInputs < 2 {
+				trainInputs = 1
+			}
+			for in := 0; in < trainInputs; in++ {
+				tr := tr0
+				if in > 0 {
+					tr = spec.Record(in, cfg.Budget)
+				}
+				hc := cnn.NewHistoryCollector(mcfg, target)
+				core.Run(tr.Stream(), tage.New(tage.Config8KB()), hc)
+				samples = append(samples, hc.Samples...)
+			}
+			model := cnn.NewModel(mcfg)
+			model.Train(samples)
+
+			// Deployment: an input never seen during training.
+			evalInput := trainInputs % spec.NumInputs
+			evalTrace := spec.Record(evalInput, cfg.Budget)
+
+			colBase := core.NewCollector(cfg.SliceLen)
+			core.Run(evalTrace.Stream(), tage.New(tage.Config8KB()), colBase)
+			baseStats := colBase.Totals()[target]
+			if baseStats == nil || baseStats.Execs == 0 {
+				return nil
+			}
+
+			overlay := cnn.NewOverlay(mcfg, tage.New(tage.Config8KB()))
+			overlay.Attach(target, model)
+			colHelper := core.NewCollector(cfg.SliceLen)
+			core.Run(evalTrace.Stream(), overlay, colHelper)
+			helperStats := colHelper.Totals()[target]
+
+			baseAcc := baseStats.Accuracy()
+			helperAcc := helperStats.Accuracy()
+			return &cnnRow{
+				cells: []string{s, fmt.Sprintf("%#x", target), f3(baseAcc), f3(helperAcc),
+					fmt.Sprintf("%+.1f%%", 100*(helperAcc-baseAcc))},
+				better: helperAcc > baseAcc,
+			}
+		})
+	for _, r := range rows {
+		if r == nil {
 			continue
 		}
-		target := topHeavyHitter(spec, cfg)
-		if target == 0 {
-			continue
-		}
-		// Offline training: samples aggregated over the first two inputs.
-		var samples []cnn.Sample
-		trainInputs := 2
-		if spec.NumInputs < 2 {
-			trainInputs = 1
-		}
-		for in := 0; in < trainInputs; in++ {
-			hc := cnn.NewHistoryCollector(mcfg, target)
-			tr := spec.Record(in, cfg.Budget)
-			core.Run(tr.Stream(), tage.New(tage.Config8KB()), hc)
-			samples = append(samples, hc.Samples...)
-		}
-		model := cnn.NewModel(mcfg)
-		model.Train(samples)
-
-		// Deployment: an input never seen during training.
-		evalInput := trainInputs % spec.NumInputs
-		evalTrace := spec.Record(evalInput, cfg.Budget)
-
-		colBase := core.NewCollector(cfg.SliceLen)
-		core.Run(evalTrace.Stream(), tage.New(tage.Config8KB()), colBase)
-		baseStats := colBase.Totals()[target]
-		if baseStats == nil || baseStats.Execs == 0 {
-			continue
-		}
-
-		overlay := cnn.NewOverlay(mcfg, tage.New(tage.Config8KB()))
-		overlay.Attach(target, model)
-		colHelper := core.NewCollector(cfg.SliceLen)
-		core.Run(evalTrace.Stream(), overlay, colHelper)
-		helperStats := colHelper.Totals()[target]
-
-		baseAcc := baseStats.Accuracy()
-		helperAcc := helperStats.Accuracy()
-		tab.AddRow(s, fmt.Sprintf("%#x", target), f3(baseAcc), f3(helperAcc),
-			fmt.Sprintf("%+.1f%%", 100*(helperAcc-baseAcc)))
+		tab.AddRow(r.cells...)
 		total++
-		if helperAcc > baseAcc {
+		if r.better {
 			improved++
 		}
 	}

@@ -6,16 +6,24 @@ import (
 
 	"branchlab/internal/core"
 	"branchlab/internal/depgraph"
+	"branchlab/internal/engine"
 	"branchlab/internal/phase"
 	"branchlab/internal/report"
+	"branchlab/internal/stats"
 	"branchlab/internal/tage"
+	"branchlab/internal/trace"
 	"branchlab/internal/workload"
 )
 
 // topHeavyHitter screens a trace and returns the top H2P by dynamic
 // executions (0 if none).
 func topHeavyHitter(s *workload.Spec, cfg Config) uint64 {
-	tr := s.Record(0, cfg.Budget)
+	return topHeavyHitterOf(s.Record(0, cfg.Budget), cfg)
+}
+
+// topHeavyHitterOf is topHeavyHitter over an already-recorded trace, so
+// drivers that need the trace afterwards record it only once.
+func topHeavyHitterOf(tr *trace.Buffer, cfg Config) uint64 {
 	rep, _ := screenH2Ps(tr, cfg.SliceLen)
 	hh := rep.HeavyHitters()
 	if len(hh) == 0 {
@@ -30,18 +38,23 @@ func topHeavyHitter(s *workload.Spec, cfg Config) uint64 {
 func Table3(cfg Config) *report.Artifact {
 	a := &report.Artifact{ID: "table3", Title: "Dependency branches of top H2P heavy hitters (5000-instruction window)"}
 	tab := report.NewTable("", "benchmark", "target", "dep branches", "min pos", "max pos", "positions/dep")
-	for _, s := range workload.SPECint2017Like() {
-		target := topHeavyHitter(s, cfg)
-		if target == 0 {
-			tab.AddRow(s.Name, "-", "0", "-", "-", "-")
-			continue
-		}
-		an := depgraph.New(depgraph.DefaultWindow, 4000, target)
-		tr := s.Record(0, cfg.Budget)
-		core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
-		sum := an.Summarize(target)
-		tab.AddRow(s.Name, fmt.Sprintf("%#x", target), d(sum.DepBranches),
-			d(sum.MinPos), d(sum.MaxPos), f2(sum.PositionsPerDep))
+	// One work unit per benchmark: screen for the top H2P, then walk the
+	// same trace through the dependency analyzer.
+	rows := engine.MapSlice(cfg.Pool(), workload.SPECint2017Like(),
+		func(s *workload.Spec, _ int) []string {
+			tr := s.Record(0, cfg.Budget)
+			target := topHeavyHitterOf(tr, cfg)
+			if target == 0 {
+				return []string{s.Name, "-", "0", "-", "-", "-"}
+			}
+			an := depgraph.New(depgraph.DefaultWindow, 4000, target)
+			core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
+			sum := an.Summarize(target)
+			return []string{s.Name, fmt.Sprintf("%#x", target), d(sum.DepBranches),
+				d(sum.MinPos), d(sum.MaxPos), f2(sum.PositionsPerDep)}
+		})
+	for _, row := range rows {
+		tab.AddRow(row...)
 	}
 	a.Tables = append(a.Tables, tab)
 	a.Notes = append(a.Notes,
@@ -54,58 +67,77 @@ func Table3(cfg Config) *report.Artifact {
 // branch is the paper's explanation for why exact pattern matching fails.
 func Fig6(cfg Config) *report.Artifact {
 	a := &report.Artifact{ID: "fig6", Title: "History-position distributions of dependency branches"}
-	for _, s := range workload.SPECint2017Like()[:4] {
-		target := topHeavyHitter(s, cfg)
-		if target == 0 {
-			continue
+	// One work unit per benchmark producing its whole table (nil when the
+	// benchmark has no H2P to analyze).
+	tables := engine.MapSlice(cfg.Pool(), workload.SPECint2017Like()[:4],
+		func(s *workload.Spec, _ int) *report.Table { return fig6Table(s, cfg) })
+	for _, tab := range tables {
+		if tab != nil {
+			a.Tables = append(a.Tables, tab)
 		}
-		an := depgraph.New(depgraph.DefaultWindow, 4000, target)
-		tr := s.Record(0, cfg.Budget)
-		core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
-		positions := an.Positions(target)
-		// Group by dependency branch.
-		type depStats struct {
-			ip        uint64
-			total     uint64
-			positions []int
-		}
-		byDep := map[uint64]*depStats{}
-		for _, p := range positions {
-			ds := byDep[p.DepIP]
-			if ds == nil {
-				ds = &depStats{ip: p.DepIP}
-				byDep[p.DepIP] = ds
-			}
-			ds.total += p.Count
-			ds.positions = append(ds.positions, p.Pos)
-		}
-		deps := make([]*depStats, 0, len(byDep))
-		for _, ds := range byDep {
-			deps = append(deps, ds)
-		}
-		sort.Slice(deps, func(i, j int) bool { return deps[i].total > deps[j].total })
-		tab := report.NewTable(fmt.Sprintf("%s target %#x", s.Name, target),
-			"dep branch", "occurrences", "distinct positions", "min", "max")
-		for i, ds := range deps {
-			if i >= 8 {
-				break
-			}
-			minP, maxP := ds.positions[0], ds.positions[0]
-			for _, p := range ds.positions {
-				if p < minP {
-					minP = p
-				}
-				if p > maxP {
-					maxP = p
-				}
-			}
-			tab.AddRow(fmt.Sprintf("%#x", ds.ip), u(ds.total), d(len(ds.positions)), d(minP), d(maxP))
-		}
-		a.Tables = append(a.Tables, tab)
 	}
 	a.Notes = append(a.Notes,
 		"each dependency branch appears at many positions with non-uniform recurrence — position-specific correlation cannot pin it down")
 	return a
+}
+
+// fig6Table builds one benchmark's dependency-position table.
+func fig6Table(s *workload.Spec, cfg Config) *report.Table {
+	tr := s.Record(0, cfg.Budget)
+	target := topHeavyHitterOf(tr, cfg)
+	if target == 0 {
+		return nil
+	}
+	an := depgraph.New(depgraph.DefaultWindow, 4000, target)
+	core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
+	positions := an.Positions(target)
+	// Group by dependency branch.
+	type depStats struct {
+		ip        uint64
+		total     uint64
+		positions []int
+	}
+	byDep := map[uint64]*depStats{}
+	for _, p := range positions {
+		ds := byDep[p.DepIP]
+		if ds == nil {
+			ds = &depStats{ip: p.DepIP}
+			byDep[p.DepIP] = ds
+		}
+		ds.total += p.Count
+		ds.positions = append(ds.positions, p.Pos)
+	}
+	deps := make([]*depStats, 0, len(byDep))
+	for _, ds := range byDep {
+		deps = append(deps, ds)
+	}
+	// Occurrence order with an IP tie-break: the map above feeds the sort
+	// in randomized order, so without the tie-break equal-count deps
+	// would land in different rows run to run.
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].total != deps[j].total {
+			return deps[i].total > deps[j].total
+		}
+		return deps[i].ip < deps[j].ip
+	})
+	tab := report.NewTable(fmt.Sprintf("%s target %#x", s.Name, target),
+		"dep branch", "occurrences", "distinct positions", "min", "max")
+	for i, ds := range deps {
+		if i >= 8 {
+			break
+		}
+		minP, maxP := ds.positions[0], ds.positions[0]
+		for _, p := range ds.positions {
+			if p < minP {
+				minP = p
+			}
+			if p > maxP {
+				maxP = p
+			}
+		}
+		tab.AddRow(fmt.Sprintf("%#x", ds.ip), u(ds.total), d(len(ds.positions)), d(minP), d(maxP))
+	}
+	return tab
 }
 
 // Fig9 reproduces Fig 9: the distribution of per-branch median recurrence
@@ -113,12 +145,27 @@ func Fig6(cfg Config) *report.Artifact {
 // the paper's evidence for exploitable long-timescale phases.
 func Fig9(cfg Config) *report.Artifact {
 	a := &report.Artifact{ID: "fig9", Title: "Median recurrence interval (MRI) distribution, LCF"}
-	tracker := phase.NewRecurrenceTracker()
-	for _, s := range workload.LCFLike() {
-		tr := s.Record(0, cfg.Budget)
-		core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+	// One tracker per workload. Sharing a single tracker across the suite
+	// (as this driver originally did) is wrong as well as unparallelizable:
+	// every run restarts the instruction index at 0 while all workloads
+	// share the 0x400000 IP space, so a branch IP carried over from the
+	// previous workload makes `i - last` underflow and its median land in
+	// the overflow bin. Per-workload trackers keep each (workload, IP)
+	// distribution separate; the merge bins every median into one
+	// suite-wide histogram.
+	trackers := engine.MapSlice(cfg.Pool(), workload.LCFLike(),
+		func(s *workload.Spec, _ int) *phase.RecurrenceTracker {
+			tracker := phase.NewRecurrenceTracker()
+			tr := s.Record(0, cfg.Budget)
+			core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+			return tracker
+		})
+	h := stats.NewHistogram(phase.MRIBins...)
+	for _, tracker := range trackers {
+		for _, m := range tracker.MedianIntervals() {
+			h.Add(m)
+		}
 	}
-	h := tracker.MRIHistogram()
 	tab := report.NewTable("", "MRI bin", "fraction of static branch IPs")
 	fr := h.Fraction()
 	peak, peakIdx := 0.0, 0
@@ -142,40 +189,50 @@ func Fig9(cfg Config) *report.Artifact {
 // value-aware helper predictors.
 func Fig10(cfg Config) *report.Artifact {
 	a := &report.Artifact{ID: "fig10", Title: "Register values preceding top H2P executions (18 tracked registers)"}
-	for _, s := range workload.SPECint2017Like()[:6] {
-		target := topHeavyHitter(s, cfg)
-		if target == 0 {
-			continue
+	// One work unit per benchmark producing its whole table.
+	tables := engine.MapSlice(cfg.Pool(), workload.SPECint2017Like()[:6],
+		func(s *workload.Spec, _ int) *report.Table { return fig10Table(s, cfg) })
+	for _, tab := range tables {
+		if tab != nil {
+			a.Tables = append(a.Tables, tab)
 		}
-		tracker := core.NewRegValueTracker(target, 8, 18)
-		tr := s.Record(0, cfg.Budget)
-		core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
-		pts := tracker.Points()
-		tab := report.NewTable(fmt.Sprintf("%s target %#x (%d executions)", s.Name, target, tracker.Execs()),
-			"register", "distinct values", "top value", "top count")
-		byReg := map[uint8][]core.RegValue{}
-		for _, p := range pts {
-			byReg[p.Reg] = append(byReg[p.Reg], p)
-		}
-		regs := make([]int, 0, len(byReg))
-		for r := range byReg {
-			regs = append(regs, int(r))
-		}
-		sort.Ints(regs)
-		for _, r := range regs {
-			vals := byReg[uint8(r)]
-			top := vals[0]
-			for _, v := range vals {
-				if v.Count > top.Count {
-					top = v
-				}
-			}
-			tab.AddRow(fmt.Sprintf("r%d", r), d(len(vals)),
-				fmt.Sprintf("%d", top.Value), u(top.Count))
-		}
-		a.Tables = append(a.Tables, tab)
 	}
 	a.Notes = append(a.Notes,
 		"distributions differ drastically across branches and carry recognizable structure (clustered values), as in the paper")
 	return a
+}
+
+// fig10Table builds one benchmark's register-value table.
+func fig10Table(s *workload.Spec, cfg Config) *report.Table {
+	tr := s.Record(0, cfg.Budget)
+	target := topHeavyHitterOf(tr, cfg)
+	if target == 0 {
+		return nil
+	}
+	tracker := core.NewRegValueTracker(target, 8, 18)
+	core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+	pts := tracker.Points()
+	tab := report.NewTable(fmt.Sprintf("%s target %#x (%d executions)", s.Name, target, tracker.Execs()),
+		"register", "distinct values", "top value", "top count")
+	byReg := map[uint8][]core.RegValue{}
+	for _, p := range pts {
+		byReg[p.Reg] = append(byReg[p.Reg], p)
+	}
+	regs := make([]int, 0, len(byReg))
+	for r := range byReg {
+		regs = append(regs, int(r))
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		vals := byReg[uint8(r)]
+		top := vals[0]
+		for _, v := range vals {
+			if v.Count > top.Count {
+				top = v
+			}
+		}
+		tab.AddRow(fmt.Sprintf("r%d", r), d(len(vals)),
+			fmt.Sprintf("%d", top.Value), u(top.Count))
+	}
+	return tab
 }

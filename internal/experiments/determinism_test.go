@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The engine's contract is that a parallel run merges work-unit results
+// in submission order, so the rendered artifact of every experiment is
+// byte-identical to a 1-worker run. fig5 exercises the trace-sharing
+// IPC sweeps, table3 the per-benchmark analysis units.
+
+func parallelWorkers() int {
+	if n := runtime.NumCPU(); n > 1 {
+		return n
+	}
+	// On a single-core host goroutine interleaving still exercises the
+	// scheduler's merge paths.
+	return 4
+}
+
+func TestParallelArtifactsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	for _, id := range []string{"fig5", "table3"} {
+		t.Run(id, func(t *testing.T) {
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not found", id)
+			}
+			seq := quickCfg()
+			seq.Workers = 1
+			par := quickCfg()
+			par.Workers = parallelWorkers()
+			want := r.Run(seq).String()
+			got := r.Run(par).String()
+			if want != got {
+				t.Errorf("parallel artifact differs from sequential:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					want, par.Workers, got)
+			}
+		})
+	}
+}
+
+// A second 1-worker run must also match: the drivers may not depend on
+// map iteration order or any other per-process randomness.
+func TestSequentialArtifactsReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	// fig4 folds per-branch accuracies into float bins and historically
+	// iterated a map while doing it; it is the regression canary here.
+	for _, id := range []string{"fig4", "table2"} {
+		t.Run(id, func(t *testing.T) {
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not found", id)
+			}
+			cfg := quickCfg()
+			cfg.Workers = 1
+			if a, b := r.Run(cfg).String(), r.Run(cfg).String(); a != b {
+				t.Errorf("two sequential runs differ:\n%s\n---\n%s", a, b)
+			}
+		})
+	}
+}

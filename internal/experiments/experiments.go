@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/pipeline"
 	"branchlab/internal/report"
 	"branchlab/internal/tage"
@@ -27,7 +28,11 @@ type Config struct {
 	PipeScales []int  // pipeline capacity scaling factors
 	StorageKB  []int  // TAGE-SC-L budgets for the limit study
 	MaxInputs  int    // cap on application inputs per workload
+	Workers    int    // engine workers per experiment (0 = NumCPU)
 }
+
+// Pool returns the engine pool the experiment's work units run on.
+func (c Config) Pool() *engine.Pool { return engine.New(c.Workers) }
 
 // Default returns the configuration used for EXPERIMENTS.md.
 func Default() Config {
@@ -92,12 +97,37 @@ func ByID(id string) (Runner, bool) {
 
 // --- shared helpers ----------------------------------------------------
 
-// recordSuite materializes one trace per workload (input 0).
-func recordSuite(specs []*workload.Spec, budget uint64) map[string]*trace.Buffer {
+// recordSuite materializes one trace per workload (input 0), one engine
+// work unit per workload.
+func recordSuite(pool *engine.Pool, specs []*workload.Spec, budget uint64) map[string]*trace.Buffer {
+	bufs := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) *trace.Buffer {
+		return s.Record(0, budget)
+	})
 	out := make(map[string]*trace.Buffer, len(specs))
-	for _, s := range specs {
-		out[s.Name] = s.Record(0, budget)
+	for i, s := range specs {
+		out[s.Name] = bufs[i]
 	}
+	return out
+}
+
+// branchTotal pairs a static branch IP with its whole-run counters.
+type branchTotal struct {
+	IP uint64
+	core.BranchStats
+}
+
+// sortedTotals returns a collector's per-branch totals in ascending IP
+// order. Iterating the Totals map directly is randomized by the runtime,
+// which makes any float accumulation over it nondeterministic between
+// runs; every driver that folds totals into float sums or shared
+// histograms goes through this instead.
+func sortedTotals(col *core.Collector) []branchTotal {
+	m := col.Totals()
+	out := make([]branchTotal, 0, len(m))
+	for ip, b := range m {
+		out = append(out, branchTotal{ip, *b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
 	return out
 }
 

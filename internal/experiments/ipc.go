@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"branchlab/internal/engine"
 	"branchlab/internal/pipeline"
 	"branchlab/internal/report"
 	"branchlab/internal/tage"
@@ -28,13 +29,17 @@ func Fig5(cfg Config) *report.Artifact {
 }
 
 func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *report.Artifact {
-	traces := recordSuite(specs, cfg.Budget)
+	pool := cfg.Pool()
+	traces := recordSuite(pool, specs, cfg.Budget)
 
 	// Screen the H2P set per workload under the baseline predictor.
-	h2pSets := make(map[string]map[uint64]bool, len(specs))
-	for _, s := range specs {
+	sets := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) map[uint64]bool {
 		rep, _ := screenH2Ps(traces[s.Name], cfg.SliceLen)
-		h2pSets[s.Name] = rep.Set()
+		return rep.Set()
+	})
+	h2pSets := make(map[string]map[uint64]bool, len(specs))
+	for i, s := range specs {
+		h2pSets[s.Name] = sets[i]
 	}
 
 	regimes := []struct {
@@ -52,17 +57,23 @@ func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *rep
 		{"Perfect BP", func(*workload.Spec) pipeline.Options { return pipeline.Options{PerfectBP: true} }},
 	}
 
+	// One work unit per (regime, scale, workload) cell; cell index order
+	// matches the sequential triple loop so the geomean folds see
+	// workloads in suite order.
+	nS, nW := len(cfg.PipeScales), len(specs)
+	cells := engine.Map(pool, len(regimes)*nS*nW, func(i int) float64 {
+		ri, si, wi := i/(nS*nW), (i/nW)%nS, i%nW
+		s := specs[wi]
+		return ipcRun(traces[s.Name], cfg.PipeScales[si], regimes[ri].opt(s)).IPC
+	})
+
 	// ipc[regime][scale] = geomean IPC.
 	ipc := make([][]float64, len(regimes))
-	for ri, reg := range regimes {
-		ipc[ri] = make([]float64, len(cfg.PipeScales))
-		for si, scale := range cfg.PipeScales {
-			vals := make([]float64, 0, len(specs))
-			for _, s := range specs {
-				res := ipcRun(traces[s.Name], scale, reg.opt(s))
-				vals = append(vals, res.IPC)
-			}
-			ipc[ri][si] = geomean(vals)
+	for ri := range regimes {
+		ipc[ri] = make([]float64, nS)
+		for si := range cfg.PipeScales {
+			base := (ri*nS + si) * nW
+			ipc[ri][si] = geomean(cells[base : base+nW])
 		}
 	}
 	base := ipc[0][0] // TAGE-SC-L 8KB at 1x
@@ -112,28 +123,38 @@ func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *rep
 // TAGE-8KB-to-perfect IPC gap closed by TAGE-SC-L at 8KB..1024KB, across
 // pipeline scales.
 func Fig7(cfg Config) *report.Artifact {
+	pool := cfg.Pool()
 	specs := workload.LCFLike()
-	traces := recordSuite(specs, cfg.Budget)
+	traces := recordSuite(pool, specs, cfg.Budget)
 	a := &report.Artifact{ID: "fig7",
 		Title: "Fraction of TAGE8->perfect IPC gap closed vs TAGE-SC-L storage"}
 
-	for _, scale := range cfg.PipeScales {
+	// One work unit per (scale, workload) cell; each sweeps the storage
+	// budgets against its own base/perfect gap.
+	nW := len(specs)
+	rows := engine.Map(pool, len(cfg.PipeScales)*nW, func(i int) []float64 {
+		scale, s := cfg.PipeScales[i/nW], specs[i%nW]
+		base := ipcRun(traces[s.Name], scale, tagePred(8))
+		perfect := ipcRun(traces[s.Name], scale, pipeline.Options{PerfectBP: true})
+		gap := perfect.IPC - base.IPC
+		fracs := make([]float64, len(cfg.StorageKB))
+		for ki, kb := range cfg.StorageKB {
+			if kb == 8 || gap <= 0 {
+				continue
+			}
+			res := ipcRun(traces[s.Name], scale, tagePred(kb))
+			fracs[ki] = (res.IPC - base.IPC) / gap
+		}
+		return fracs
+	})
+
+	for si, scale := range cfg.PipeScales {
 		tab := report.NewTable(fmt.Sprintf("pipeline %dx", scale),
 			append([]string{"application"}, kbHeaders(cfg.StorageKB)...)...)
 		var maxClose float64
-		for _, s := range specs {
-			base := ipcRun(traces[s.Name], scale, tagePred(8))
-			perfect := ipcRun(traces[s.Name], scale, pipeline.Options{PerfectBP: true})
-			gap := perfect.IPC - base.IPC
+		for wi, s := range specs {
 			row := []string{s.Name}
-			for _, kb := range cfg.StorageKB {
-				var frac float64
-				if kb == 8 {
-					frac = 0
-				} else if gap > 0 {
-					res := ipcRun(traces[s.Name], scale, tagePred(kb))
-					frac = (res.IPC - base.IPC) / gap
-				}
+			for _, frac := range rows[si*nW+wi] {
 				if frac > maxClose {
 					maxClose = frac
 				}
@@ -153,15 +174,18 @@ func Fig7(cfg Config) *report.Artifact {
 // perfectly predicting every branch with more than 1000 (and 100)
 // dynamic executions — i.e. the share owed to rare branches.
 func Fig8(cfg Config) *report.Artifact {
+	pool := cfg.Pool()
 	specs := workload.LCFLike()
-	traces := recordSuite(specs, cfg.Budget)
+	traces := recordSuite(pool, specs, cfg.Budget)
 	kb := cfg.StorageKB[len(cfg.StorageKB)-1]
 	a := &report.Artifact{ID: "fig8",
 		Title: fmt.Sprintf("IPC opportunity remaining after perfecting frequent branches (TAGE-SC-L %dKB, 1x)", kb)}
 	tab := report.NewTable("fraction of opportunity remaining",
 		"application", "perfect >1000 execs", "perfect >100 execs")
-	var sum1000, sum100 float64
-	for _, s := range specs {
+
+	// One work unit per workload, each timing its four pipeline runs.
+	type fig8Row struct{ r1000, r100 float64 }
+	results := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) fig8Row {
 		base := ipcRun(traces[s.Name], 1, tagePred(kb))
 		perfect := ipcRun(traces[s.Name], 1, pipeline.Options{PerfectBP: true})
 		gap := perfect.IPC - base.IPC
@@ -183,11 +207,14 @@ func Fig8(cfg Config) *report.Artifact {
 			}
 			return v
 		}
-		r1000 := rem(scaleN(1000))
-		r100 := rem(scaleN(100))
-		sum1000 += r1000
-		sum100 += r100
-		tab.AddRow(s.Name, f3(r1000), f3(r100))
+		return fig8Row{r1000: rem(scaleN(1000)), r100: rem(scaleN(100))}
+	})
+
+	var sum1000, sum100 float64
+	for i, s := range specs {
+		sum1000 += results[i].r1000
+		sum100 += results[i].r100
+		tab.AddRow(s.Name, f3(results[i].r1000), f3(results[i].r100))
 	}
 	tab.AddRow("MEAN", f3(sum1000/float64(len(specs))), f3(sum100/float64(len(specs))))
 	a.Tables = append(a.Tables, tab)

@@ -5,6 +5,7 @@ import (
 
 	"branchlab/internal/bp"
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/phase"
 	"branchlab/internal/report"
 	"branchlab/internal/workload"
@@ -33,36 +34,53 @@ func PhaseCond(cfg Config) *report.Artifact {
 
 	var flatRareSum, condRareSum float64
 	n := 0
-	for _, s := range workload.LCFLike() {
-		tr := s.Record(0, cfg.Budget)
+	// One work unit per application: both the flat and conditioned runs.
+	type pcRow struct {
+		flatAcc, condAcc float64
+		flatRare         float64
+		condRare         float64
+		phases           int
+	}
+	rows := engine.MapSlice(cfg.Pool(), workload.LCFLike(),
+		func(s *workload.Spec, _ int) pcRow {
+			tr := s.Record(0, cfg.Budget)
 
-		flatCol := core.NewCollector(cfg.SliceLen)
-		core.Run(tr.Stream(), bp.NewBimodal(14), flatCol)
+			flatCol := core.NewCollector(cfg.SliceLen)
+			core.Run(tr.Stream(), bp.NewBimodal(14), flatCol)
 
-		cond := phase.NewConditionedPredictor(1024, 16,
-			func() bp.Predictor { return bp.NewBimodal(14) })
-		condCol := core.NewCollector(cfg.SliceLen)
-		core.Run(tr.Stream(), cond, condCol)
+			cond := phase.NewConditionedPredictor(1024, 16,
+				func() bp.Predictor { return bp.NewBimodal(14) })
+			condCol := core.NewCollector(cfg.SliceLen)
+			core.Run(tr.Stream(), cond, condCol)
 
-		rareAcc := func(col *core.Collector) float64 {
-			var execs, miss uint64
-			for _, b := range col.Totals() {
-				if b.Execs <= rareThreshold {
-					execs += b.Execs
-					miss += b.Mispreds
+			rareAcc := func(col *core.Collector) float64 {
+				var execs, miss uint64
+				for _, b := range col.Totals() {
+					if b.Execs <= rareThreshold {
+						execs += b.Execs
+						miss += b.Mispreds
+					}
 				}
+				if execs == 0 {
+					return 1
+				}
+				return 1 - float64(miss)/float64(execs)
 			}
-			if execs == 0 {
-				return 1
+			return pcRow{
+				flatAcc:  flatCol.Accuracy(),
+				condAcc:  condCol.Accuracy(),
+				flatRare: rareAcc(flatCol),
+				condRare: rareAcc(condCol),
+				phases:   cond.NumPhases(),
 			}
-			return 1 - float64(miss)/float64(execs)
-		}
-		fr, cr := rareAcc(flatCol), rareAcc(condCol)
-		flatRareSum += fr
-		condRareSum += cr
+		})
+	for i, s := range workload.LCFLike() {
+		r := rows[i]
+		flatRareSum += r.flatRare
+		condRareSum += r.condRare
 		n++
-		tab.AddRow(s.Name, f4(flatCol.Accuracy()), f4(condCol.Accuracy()),
-			f4(fr), f4(cr), d(cond.NumPhases()))
+		tab.AddRow(s.Name, f4(r.flatAcc), f4(r.condAcc),
+			f4(r.flatRare), f4(r.condRare), d(r.phases))
 	}
 	a.Tables = append(a.Tables, tab)
 	if n > 0 {

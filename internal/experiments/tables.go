@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/report"
 	"branchlab/internal/simpoint"
 	"branchlab/internal/stats"
@@ -23,27 +24,63 @@ func Table1(cfg Config) *report.Artifact {
 
 	var sumPhases, sumAcc, sumAccX, sumPerSlice, sumShare, sumExecs float64
 	crit := core.PaperCriteria().Scaled(cfg.SliceLen)
-	for _, s := range workload.SPECint2017Like() {
-		inputs := s.NumInputs
-		if inputs > cfg.MaxInputs {
-			inputs = cfg.MaxInputs
+	specs := workload.SPECint2017Like()
+	inputsOf := func(s *workload.Spec) int {
+		if s.NumInputs > cfg.MaxInputs {
+			return cfg.MaxInputs
 		}
+		return s.NumInputs
+	}
+
+	// One work unit per (benchmark, input) pair: record, predict, screen
+	// and count phases. Units are keyed so the merge below reassembles
+	// per-benchmark slices in input order.
+	type t1Key struct{ bench, input int }
+	var keys []t1Key
+	for bi, s := range specs {
+		for in := 0; in < inputsOf(s); in++ {
+			keys = append(keys, t1Key{bi, in})
+		}
+	}
+	type t1Cell struct {
+		rep    *core.H2PReport
+		col    *core.Collector
+		phases int
+	}
+	cells := engine.MapSlice(cfg.Pool(), keys, func(k t1Key, _ int) t1Cell {
+		tr := specs[k.bench].Record(k.input, cfg.Budget)
+		col := core.NewCollector(cfg.SliceLen)
+		bbv := simpoint.NewBBVCollector(cfg.SliceLen, simpoint.DefaultDim)
+		core.Run(tr.Stream(), tage.New(tage.Config8KB()), col, bbv)
+		c := t1Cell{
+			rep:    crit.Screen(col),
+			phases: simpoint.ChooseK(bbv.Vectors(), 20, 1).K,
+		}
+		// Only input 0's collector feeds the per-slice columns; dropping
+		// the rest keeps peak memory at one collector per benchmark.
+		if k.input == 0 {
+			c.col = col
+		}
+		return c
+	})
+
+	perBench := make([][]t1Cell, len(specs))
+	for i, k := range keys {
+		perBench[k.bench] = append(perBench[k.bench], cells[i])
+	}
+
+	for bi, s := range specs {
+		inputs := inputsOf(s)
 		var reports []*core.H2PReport
-		var cols []*core.Collector
 		phases := 0
-		for in := 0; in < inputs; in++ {
-			tr := s.Record(in, cfg.Budget)
-			col := core.NewCollector(cfg.SliceLen)
-			bbv := simpoint.NewBBVCollector(cfg.SliceLen, simpoint.DefaultDim)
-			core.Run(tr.Stream(), tage.New(tage.Config8KB()), col, bbv)
-			reports = append(reports, crit.Screen(col))
-			cols = append(cols, col)
-			phases += simpoint.ChooseK(bbv.Vectors(), 20, 1).K
+		for _, c := range perBench[bi] {
+			reports = append(reports, c.rep)
+			phases += c.phases
 		}
 		agg := core.Aggregate(reports)
 
 		// Input-0 metrics for the per-slice columns.
-		col0, rep0 := cols[0], reports[0]
+		col0, rep0 := perBench[bi][0].col, reports[0]
 		set0 := rep0.Set()
 		acc := col0.Accuracy()
 		accX := col0.AccuracyExcluding(set0)
@@ -68,7 +105,7 @@ func Table1(cfg Config) *report.Artifact {
 		sumShare += rep0.MispredShare()
 		sumExecs += rep0.AvgExecsPerH2PPerSlice()
 	}
-	n := float64(len(workload.SPECint2017Like()))
+	n := float64(len(specs))
 	tab.AddRow("MEAN", f2(sumPhases/n), "", "", f3(sumAcc/n), f3(sumAccX/n), "", "", "", "",
 		f2(sumPerSlice/n), f2(sumExecs/n), pct(sumShare/n))
 	a.Tables = append(a.Tables, tab)
@@ -85,10 +122,15 @@ func Fig2(cfg Config) *report.Artifact {
 	tab := report.NewTable("", "benchmark", "H2Ps", "top1", "top5", "top10", "all")
 	var top5sum float64
 	var nBench int
-	for _, s := range workload.SPECint2017Like() {
+	specs := workload.SPECint2017Like()
+	// One work unit per benchmark: record, screen, rank heavy hitters.
+	hitters := engine.MapSlice(cfg.Pool(), specs, func(s *workload.Spec, _ int) []core.HeavyHitter {
 		tr := s.Record(0, cfg.Budget)
 		rep, _ := screenH2Ps(tr, cfg.SliceLen)
-		hh := rep.HeavyHitters()
+		return rep.HeavyHitters()
+	})
+	for i, s := range specs {
+		hh := hitters[i]
 		if len(hh) == 0 {
 			tab.AddRow(s.Name, "0", "-", "-", "-", "-")
 			continue
@@ -128,10 +170,18 @@ func Table2(cfg Config) *report.Artifact {
 	tab := report.NewTable("", "application", "static IPs", "execs/branch", "acc/branch", "H2Ps")
 	var sumStatic, sumExecs, sumAcc, sumH2P float64
 	specs := workload.LCFLike()
-	for _, s := range specs {
+	// One work unit per application; the per-branch accuracy fold walks
+	// IP-sorted totals so the float sum is deterministic.
+	type t2Row struct {
+		n        int
+		execsPer float64
+		accPer   float64
+		h2ps     float64
+	}
+	rows := engine.MapSlice(cfg.Pool(), specs, func(s *workload.Spec, _ int) t2Row {
 		tr := s.Record(0, cfg.Budget)
 		rep, col := screenH2Ps(tr, cfg.SliceLen)
-		totals := col.Totals()
+		totals := sortedTotals(col)
 		var execs uint64
 		var accSum float64
 		for _, b := range totals {
@@ -139,14 +189,20 @@ func Table2(cfg Config) *report.Artifact {
 			accSum += b.Accuracy()
 		}
 		n := len(totals)
-		execsPer := float64(execs) / float64(n)
-		accPer := accSum / float64(n)
-		h2ps := rep.AvgPerSlice()
-		tab.AddRow(s.Name, d(n), f2(execsPer), f3(accPer), f2(h2ps))
-		sumStatic += float64(n)
-		sumExecs += execsPer
-		sumAcc += accPer
-		sumH2P += h2ps
+		return t2Row{
+			n:        n,
+			execsPer: float64(execs) / float64(n),
+			accPer:   accSum / float64(n),
+			h2ps:     rep.AvgPerSlice(),
+		}
+	})
+	for i, s := range specs {
+		r := rows[i]
+		tab.AddRow(s.Name, d(r.n), f2(r.execsPer), f3(r.accPer), f2(r.h2ps))
+		sumStatic += float64(r.n)
+		sumExecs += r.execsPer
+		sumAcc += r.accPer
+		sumH2P += r.h2ps
 	}
 	k := float64(len(specs))
 	tab.AddRow("MEAN", f2(sumStatic/k), f2(sumExecs/k), f3(sumAcc/k), f2(sumH2P/k))
@@ -163,10 +219,15 @@ func Fig3(cfg Config) *report.Artifact {
 	mispredH := stats.NewHistogram(0, 1, 10, 50, 100, 500, 1000, 5000)
 	execH := stats.NewHistogram(0, 100, 1000, 10000, 100000, 1000000)
 	accH := stats.NewHistogram(0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99, 1.0000001)
-	for _, s := range workload.LCFLike() {
-		tr := s.Record(0, cfg.Budget)
-		_, col := screenH2Ps(tr, cfg.SliceLen)
-		for _, b := range col.Totals() {
+	// One work unit per application returning its per-branch totals; the
+	// shared histograms are filled during the in-order merge.
+	for _, totals := range engine.MapSlice(cfg.Pool(), workload.LCFLike(),
+		func(s *workload.Spec, _ int) []branchTotal {
+			tr := s.Record(0, cfg.Budget)
+			_, col := screenH2Ps(tr, cfg.SliceLen)
+			return sortedTotals(col)
+		}) {
+		for _, b := range totals {
 			mispredH.Add(float64(b.Mispreds))
 			execH.Add(float64(b.Execs))
 			accH.Add(b.Accuracy())
@@ -203,10 +264,16 @@ func Fig3(cfg Config) *report.Artifact {
 func Fig4(cfg Config) *report.Artifact {
 	a := &report.Artifact{ID: "fig4", Title: "Accuracy spread vs dynamic execution count (LCF)"}
 	bs := stats.NewBinnedStdDev(100)
-	for _, s := range workload.LCFLike() {
-		tr := s.Record(0, cfg.Budget)
-		_, col := screenH2Ps(tr, cfg.SliceLen)
-		for _, b := range col.Totals() {
+	// Per-application work units; the merge feeds the binned accumulator
+	// in application order over IP-sorted branches, making the per-bin
+	// float folds deterministic.
+	for _, totals := range engine.MapSlice(cfg.Pool(), workload.LCFLike(),
+		func(s *workload.Spec, _ int) []branchTotal {
+			tr := s.Record(0, cfg.Budget)
+			_, col := screenH2Ps(tr, cfg.SliceLen)
+			return sortedTotals(col)
+		}) {
+		for _, b := range totals {
 			bs.Add(float64(b.Execs), b.Accuracy())
 		}
 	}
