@@ -9,6 +9,7 @@ import (
 	"branchlab/internal/experiments"
 	"branchlab/internal/report"
 	"branchlab/internal/tage"
+	"branchlab/internal/tracecache"
 )
 
 // One benchmark per table and figure of the paper. Each iteration
@@ -75,6 +76,68 @@ func BenchmarkFig5Parallel(b *testing.B) {
 				b.Fatal("experiment produced no artifact")
 			}
 		})
+	}
+}
+
+// BenchmarkRunAll is the `cmd/experiments -run all` hot path: every
+// driver in the registry, end to end, with the shared trace cache off
+// and on. The cache=off/cache=on ratio is the invocation-level speedup
+// from recording each (workload, input) trace once instead of once per
+// driver; scripts/bench.sh records both in BENCH_PR2.json.
+func BenchmarkRunAll(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		name := "cache=off"
+		if cached {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sink *report.Artifact
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.Quick()
+				if cached {
+					cfg.Cache = tracecache.New(0)
+				}
+				for _, r := range experiments.All() {
+					sink = r.Run(cfg)
+				}
+			}
+			if sink == nil {
+				b.Fatal("experiments produced no artifact")
+			}
+		})
+	}
+}
+
+// BenchmarkCoreRun isolates the core.Run replay loop: the no-observer
+// fast path (pure MPKI measurement) against the fan-out path with a
+// collector attached. Both replay the same recorded trace through
+// TAGE-SC-L 8KB.
+func BenchmarkCoreRun(b *testing.B) {
+	spec, _ := branchlab.Workload("605.mcf_s")
+	tr := branchlab.RecordTrace(spec, 0, 500_000)
+	b.Run("observers=off", func(b *testing.B) {
+		b.SetBytes(500_000)
+		for i := 0; i < b.N; i++ {
+			branchlab.Run(tr.Stream(), branchlab.NewTAGESCL(8))
+		}
+	})
+	b.Run("observers=on", func(b *testing.B) {
+		b.SetBytes(500_000)
+		for i := 0; i < b.N; i++ {
+			branchlab.Run(tr.Stream(), branchlab.NewTAGESCL(8), branchlab.NewCollector(125_000))
+		}
+	})
+}
+
+// BenchmarkTraceCacheHit measures the cache's serve-from-memory cost
+// (lock, LRU touch, prefix view) against the recording it avoids.
+func BenchmarkTraceCacheHit(b *testing.B) {
+	spec, _ := branchlab.Workload("605.mcf_s")
+	cache := branchlab.NewTraceCache(0)
+	branchlab.RecordTraceCached(cache, spec, 0, 500_000) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		branchlab.RecordTraceCached(cache, spec, 0, 500_000)
 	}
 }
 

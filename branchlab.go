@@ -37,6 +37,7 @@ import (
 	"branchlab/internal/simpoint"
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
+	"branchlab/internal/tracecache"
 	"branchlab/internal/workload"
 	"branchlab/internal/zoo"
 )
@@ -113,6 +114,12 @@ func LCFLike() []*WorkloadSpec { return workload.LCFLike() }
 // Run drives a stream through a predictor, fanning events to observers.
 func Run(s Stream, p Predictor, obs ...Observer) RunStats { return core.Run(s, p, obs...) }
 
+// Observe replays a stream through observers with no predictor — the
+// fast path for analysis passes (dependency graphs, recurrence
+// tracking, BBV collection, register values, helper-training history)
+// whose observers ignore predictions.
+func Observe(s Stream, obs ...Observer) RunStats { return core.Observe(s, obs...) }
+
 // NewCollector returns a Collector with the given slice length.
 func NewCollector(sliceLen uint64) *Collector { return core.NewCollector(sliceLen) }
 
@@ -133,6 +140,30 @@ func CloseStream(s Stream) error { return trace.CloseStream(s) }
 // input.
 func RecordTrace(spec *WorkloadSpec, input int, budget uint64) *Buffer {
 	return spec.Record(input, budget)
+}
+
+// TraceCache is a content-keyed, concurrency-safe cache of recorded
+// traces: concurrent requests for one (workload, input) coalesce onto a
+// single recording, smaller budgets are served as zero-copy prefix views
+// of larger recordings, and memory is bounded by LRU eviction. Share one
+// cache across drivers (via ExperimentConfig.Cache or RecordTraceCached)
+// to synthesize each trace once per process.
+type TraceCache = tracecache.Cache
+
+// TraceCacheStats are a cache's hit/miss/eviction counters.
+type TraceCacheStats = tracecache.Stats
+
+// NewTraceCache returns a trace cache holding at most maxBytes of
+// recorded instructions (<= 0 means unbounded).
+func NewTraceCache(maxBytes int64) *TraceCache { return tracecache.New(maxBytes) }
+
+// RecordTraceCached is RecordTrace through a shared cache: it records on
+// the first request for (spec, input) and serves replayable views from
+// memory afterwards. A nil cache degrades to RecordTrace.
+func RecordTraceCached(c *TraceCache, spec *WorkloadSpec, input int, budget uint64) *Buffer {
+	return c.Record(spec.Name, input, budget, func() *Buffer {
+		return spec.Record(input, budget)
+	})
 }
 
 // SkylakeConfig returns the baseline pipeline configuration; scale it
@@ -162,7 +193,7 @@ func TrainHelper(cfg HelperConfig, target uint64, traces ...*Buffer) *HelperMode
 	var samples []cnn.Sample
 	for _, tr := range traces {
 		hc := cnn.NewHistoryCollector(cfg, target)
-		core.Run(tr.Stream(), bp.NewStatic(true), hc)
+		core.Observe(tr.Stream(), hc)
 		samples = append(samples, hc.Samples...)
 	}
 	m := cnn.NewModel(cfg)

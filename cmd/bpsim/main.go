@@ -27,6 +27,7 @@ import (
 	"branchlab/internal/engine"
 	"branchlab/internal/pipeline"
 	"branchlab/internal/trace"
+	"branchlab/internal/tracecache"
 	"branchlab/internal/workload"
 	"branchlab/internal/zoo"
 )
@@ -100,6 +101,15 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 		return err
 	}
 
+	// Multi-scale workload sweeps record the trace once through the
+	// cache and replay the buffer for the accuracy pass and every
+	// pipeline scale. Accuracy-only and single-scale runs stream at
+	// O(1) memory (the budget can be arbitrarily large), as do trace
+	// files.
+	var cache *tracecache.Cache
+	if traceFile == "" && len(pipeScales) > 1 {
+		cache = tracecache.New(0)
+	}
 	open := func() (trace.Stream, func(), error) {
 		if traceFile != "" {
 			f, err := os.Open(traceFile)
@@ -112,8 +122,14 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 		if !ok {
 			return nil, nil, fmt.Errorf("unknown workload %q (use -list)", workloadName)
 		}
-		s := spec.Stream(input, budget)
-		return s, func() { trace.CloseStream(s) }, nil
+		if cache == nil {
+			s := spec.Stream(input, budget)
+			return s, func() { trace.CloseStream(s) }, nil
+		}
+		buf := cache.Record(spec.Name, input, budget, func() *trace.Buffer {
+			return spec.Record(input, budget)
+		})
+		return buf.Stream(), func() {}, nil
 	}
 
 	s, cleanup, err := open()
@@ -176,28 +192,16 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 
 	if len(pipeScales) > 0 {
 		// Each scale is an independent work unit with its own stream and
-		// predictor, printed in scale order. Multi-scale sweeps over a
-		// synthetic workload record the trace once (bounded by -budget)
-		// and replay the buffer; a single scale or a -trace file streams
-		// at O(1) memory, since trace files can be arbitrarily large.
-		openScale := open
-		if traceFile == "" && len(pipeScales) > 1 {
-			s2, cleanup2, err := open()
-			if err != nil {
-				return err
-			}
-			buf := trace.Record(s2)
-			cleanup2()
-			openScale = func() (trace.Stream, func(), error) {
-				return buf.Stream(), func() {}, nil
-			}
-		}
+		// predictor, printed in scale order. Workload streams replay the
+		// cached recording (synthesized once, bounded by -budget); -trace
+		// files re-open and stream at O(1) memory, since they can be
+		// arbitrarily large.
 		type timed struct {
 			res pipeline.Result
 			err error
 		}
 		results := engine.MapSlice(engine.New(parallel), pipeScales, func(scale int, _ int) timed {
-			s2, cleanup2, err := openScale()
+			s2, cleanup2, err := open()
 			if err != nil {
 				return timed{err: err}
 			}
@@ -218,6 +222,9 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 			fmt.Printf("pipeline %dx:      IPC %.3f (%.2f MPKI, %.2f L1D miss PKI)\n",
 				scale, res.IPC, res.MPKI, res.L1DMissPKI)
 		}
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "[trace cache: %s]\n", cache.Stats())
 	}
 	return nil
 }

@@ -14,6 +14,11 @@
 // Each experiment's independent simulation cells run on the engine
 // worker pool; -parallel selects the worker count (0 = NumCPU, 1 =
 // sequential). Output is byte-identical at every worker count.
+//
+// Workload traces are recorded once per (workload, input) through a
+// shared in-memory cache and replayed by every experiment that needs
+// them; -tracecache bounds the cache in MiB (0 disables it). Cache
+// counters print to stderr, keeping stdout diff-able.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"branchlab/internal/experiments"
+	"branchlab/internal/tracecache"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func main() {
 		budget   = flag.Uint64("budget", 0, "override instruction budget per workload")
 		slice    = flag.Uint64("slice", 0, "override slice length")
 		parallel = flag.Int("parallel", 0, "engine workers per experiment (0 = NumCPU)")
+		cacheMB  = flag.Int64("tracecache", 4096, "shared trace cache size in MiB (-1 = unbounded, 0 = off)")
 	)
 	flag.Parse()
 
@@ -54,6 +61,13 @@ func main() {
 		cfg.SliceLen = *slice
 	}
 	cfg.Workers = *parallel
+	if *cacheMB != 0 {
+		limit := *cacheMB << 20
+		if limit < 0 {
+			limit = 0 // unbounded
+		}
+		cfg.Cache = tracecache.New(limit)
+	}
 
 	runners := experiments.All()
 	if *run != "all" {
@@ -72,5 +86,8 @@ func main() {
 		fmt.Print(artifact.String())
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if cfg.Cache != nil {
+		fmt.Fprint(os.Stderr, cfg.Cache.Stats().Table().String())
 	}
 }

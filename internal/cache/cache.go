@@ -33,11 +33,13 @@ func (s Stats) MissRate() float64 {
 // Cache is one level of a hierarchy. A nil lower level means misses go to
 // memory at memLat.
 type Cache struct {
-	cfg    Config
-	sets   int
-	tags   []uint64
-	valid  []bool
-	use    []uint64 // LRU timestamps
+	cfg  Config
+	sets int
+	tags []uint64
+	// use holds LRU timestamps; 0 means the way is invalid (the clock
+	// starts at 1), which folds the validity check into the timestamp
+	// load on the per-instruction L1 lookup path.
+	use    []uint64
 	clock  uint64
 	lower  *Cache
 	memLat uint64
@@ -67,7 +69,6 @@ func New(cfg Config, lower *Cache, memLat uint64) *Cache {
 		cfg:    cfg,
 		sets:   sets,
 		tags:   make([]uint64, n),
-		valid:  make([]bool, n),
 		use:    make([]uint64, n),
 		lower:  lower,
 		memLat: memLat,
@@ -87,10 +88,13 @@ func (c *Cache) Access(addr uint64) uint64 {
 	block := addr >> c.cfg.BlockBits
 	set := int(block & uint64(c.sets-1))
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == block {
-			c.use[i] = c.clock
+	// Slicing the set once elides per-way bounds checks in the probe
+	// loop, the hottest lines of the timing model.
+	tags := c.tags[base : base+c.cfg.Ways]
+	use := c.use[base : base+c.cfg.Ways]
+	for w, tag := range tags {
+		if tag == block && use[w] != 0 {
+			use[w] = c.clock
 			c.stats.Hits++
 			return c.cfg.HitLat
 		}
@@ -102,21 +106,18 @@ func (c *Cache) Access(addr uint64) uint64 {
 	} else {
 		lat += c.memLat
 	}
-	// Fill, evicting the LRU way.
-	victim := base
-	for w := 1; w < c.cfg.Ways; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = i
-			break
-		}
-		if c.use[i] < c.use[victim] {
-			victim = i
+	// Fill, evicting the LRU way; an invalid way (use 0) always loses
+	// the min-scan to any valid way, and ties keep the lowest index, so
+	// the victim is the first invalid way when one exists — the same
+	// choice the explicit valid-bit scan made.
+	victim := 0
+	for w := 1; w < len(use); w++ {
+		if use[w] < use[victim] {
+			victim = w
 		}
 	}
-	c.tags[victim] = block
-	c.valid[victim] = true
-	c.use[victim] = c.clock
+	tags[victim] = block
+	use[victim] = c.clock
 	return lat
 }
 

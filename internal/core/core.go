@@ -190,10 +190,24 @@ func (r RunStats) MPKI() float64 {
 	return 1000 * float64(r.Mispreds) / float64(r.Insts)
 }
 
+// targetTrainer is the optional predictor extension trained with the
+// branch target as well as the direction (TAGE-SC-L's IMLI component
+// keys on it). Run resolves the assertion once per run, not once per
+// branch: this is the simulator's innermost loop.
+type targetTrainer interface {
+	TrainWithTarget(ip, target uint64, taken, pred bool)
+}
+
 // Run drives the stream through the predictor (the CBP-style measurement
 // loop: predict at fetch, train at retire, observe all control flow) and
-// fans events out to the observers.
+// fans events out to the observers. Runs with no observers — the
+// pure-MPKI sweeps — take a specialized loop with no fan-out work.
 func Run(s trace.Stream, p bp.Predictor, obs ...Observer) RunStats {
+	tt, _ := p.(targetTrainer)
+	bo, _ := p.(bp.BranchObserver)
+	if len(obs) == 0 {
+		return runNoObservers(s, p, tt, bo)
+	}
 	var st RunStats
 	var inst trace.Inst
 	var i uint64
@@ -207,12 +221,18 @@ func Run(s trace.Stream, p bp.Predictor, obs ...Observer) RunStats {
 			if pred != inst.Taken {
 				st.Mispreds++
 			}
-			trainCond(p, &inst, pred)
+			if tt != nil {
+				tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
+			} else {
+				p.Train(inst.IP, inst.Taken, pred)
+			}
 			for _, o := range obs {
 				o.Branch(i, &inst, pred)
 			}
 		} else if inst.Kind.IsBranch() {
-			bp.Observe(p, inst.IP, inst.Target, inst.Kind, inst.Taken)
+			if bo != nil {
+				bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+			}
 		}
 		i++
 	}
@@ -220,13 +240,59 @@ func Run(s trace.Stream, p bp.Predictor, obs ...Observer) RunStats {
 	return st
 }
 
-func trainCond(p bp.Predictor, inst *trace.Inst, pred bool) {
-	type targetTrainer interface {
-		TrainWithTarget(ip, target uint64, taken, pred bool)
+// Observe replays a stream through observers with no predictor at all.
+// The analysis substrates (dependency graphs, recurrence tracking, BBV
+// collection, register-value tracking, CNN history collection) consume
+// only trace-visible signals — their Branch callbacks ignore the
+// prediction — so analysis passes that used to drag a predictor through
+// the trace for nothing skip prediction work entirely. Branch callbacks
+// receive the resolved direction as the prediction (never counted as a
+// misprediction).
+func Observe(s trace.Stream, obs ...Observer) RunStats {
+	var st RunStats
+	var inst trace.Inst
+	var i uint64
+	for s.Next(&inst) {
+		for _, o := range obs {
+			o.Inst(i, &inst)
+		}
+		if inst.Kind == trace.KindCondBr {
+			st.CondExecs++
+			for _, o := range obs {
+				o.Branch(i, &inst, inst.Taken)
+			}
+		}
+		i++
 	}
-	if tt, ok := p.(targetTrainer); ok {
-		tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
-		return
+	st.Insts = i
+	return st
+}
+
+// runNoObservers is Run's fast path for pure-MPKI measurement: identical
+// prediction/training semantics, no observer fan-out in the loop body.
+func runNoObservers(s trace.Stream, p bp.Predictor, tt targetTrainer, bo bp.BranchObserver) RunStats {
+	var st RunStats
+	var inst trace.Inst
+	var i uint64
+	for s.Next(&inst) {
+		if inst.Kind == trace.KindCondBr {
+			st.CondExecs++
+			pred := p.Predict(inst.IP)
+			if pred != inst.Taken {
+				st.Mispreds++
+			}
+			if tt != nil {
+				tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
+			} else {
+				p.Train(inst.IP, inst.Taken, pred)
+			}
+		} else if inst.Kind.IsBranch() {
+			if bo != nil {
+				bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+			}
+		}
+		i++
 	}
-	p.Train(inst.IP, inst.Taken, pred)
+	st.Insts = i
+	return st
 }

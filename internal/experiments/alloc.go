@@ -32,7 +32,7 @@ func Alloc(cfg Config) *report.Artifact {
 	type allocResult struct{ h2p, other allocClass }
 	results := engine.MapSlice(cfg.Pool(), workload.SPECint2017Like(),
 		func(s *workload.Spec, _ int) allocResult {
-			tr := s.Record(0, cfg.Budget)
+			tr := cfg.RecordTrace(s, 0)
 			pred := tage.New(tage.Config8KB())
 			telemetry := pred.EnableAllocTracking()
 			col := core.NewCollector(cfg.SliceLen)
@@ -97,8 +97,8 @@ func CNN(cfg Config) *report.Artifact {
 			if !ok {
 				return nil
 			}
-			tr0 := spec.Record(0, cfg.Budget)
-			target := topHeavyHitterOf(tr0, cfg)
+			tr0 := cfg.RecordTrace(spec, 0)
+			target := topHeavyHitter(cfg, spec, tr0)
 			if target == 0 {
 				return nil
 			}
@@ -112,10 +112,12 @@ func CNN(cfg Config) *report.Artifact {
 			for in := 0; in < trainInputs; in++ {
 				tr := tr0
 				if in > 0 {
-					tr = spec.Record(in, cfg.Budget)
+					tr = cfg.RecordTrace(spec, in)
 				}
+				// The history collector reads resolved directions only
+				// (its Branch callback is a no-op): no predictor needed.
 				hc := cnn.NewHistoryCollector(mcfg, target)
-				core.Run(tr.Stream(), tage.New(tage.Config8KB()), hc)
+				core.Observe(tr.Stream(), hc)
 				samples = append(samples, hc.Samples...)
 			}
 			model := cnn.NewModel(mcfg)
@@ -123,10 +125,11 @@ func CNN(cfg Config) *report.Artifact {
 
 			// Deployment: an input never seen during training.
 			evalInput := trainInputs % spec.NumInputs
-			evalTrace := spec.Record(evalInput, cfg.Budget)
+			evalTrace := cfg.RecordTrace(spec, evalInput)
 
-			colBase := core.NewCollector(cfg.SliceLen)
-			core.Run(evalTrace.Stream(), tage.New(tage.Config8KB()), colBase)
+			// The baseline eval pass is exactly a screening run of the
+			// eval input; the memoized collector serves it.
+			_, colBase := screenBranches(cfg, spec, evalInput, evalTrace)
 			baseStats := colBase.Totals()[target]
 			if baseStats == nil || baseStats.Execs == 0 {
 				return nil

@@ -10,26 +10,36 @@ import (
 	"branchlab/internal/phase"
 	"branchlab/internal/report"
 	"branchlab/internal/stats"
-	"branchlab/internal/tage"
 	"branchlab/internal/trace"
 	"branchlab/internal/workload"
 )
 
-// topHeavyHitter screens a trace and returns the top H2P by dynamic
-// executions (0 if none).
-func topHeavyHitter(s *workload.Spec, cfg Config) uint64 {
-	return topHeavyHitterOf(s.Record(0, cfg.Budget), cfg)
-}
-
-// topHeavyHitterOf is topHeavyHitter over an already-recorded trace, so
-// drivers that need the trace afterwards record it only once.
-func topHeavyHitterOf(tr *trace.Buffer, cfg Config) uint64 {
-	rep, _ := screenH2Ps(tr, cfg.SliceLen)
+// topHeavyHitter screens a workload's input-0 trace (memoized, shared
+// with the other drivers screening the same trace) and returns the top
+// H2P by dynamic executions (0 if none). tr must be that trace; drivers
+// that need it afterwards pass the buffer they already hold.
+func topHeavyHitter(cfg Config, s *workload.Spec, tr *trace.Buffer) uint64 {
+	rep, _ := screenBranches(cfg, s, 0, tr)
 	hh := rep.HeavyHitters()
 	if len(hh) == 0 {
 		return 0
 	}
 	return hh[0].IP
+}
+
+// depAnalysis walks a trace through the dependency analyzer for one
+// target branch, memoized in the shared cache: table3 and fig6 analyze
+// the same (workload, target) pairs. The analyzer consumes only
+// trace-visible operands (its Branch callback is a no-op), so the pass
+// is predictor-free. The returned analyzer is shared and read-only.
+func depAnalysis(cfg Config, s *workload.Spec, tr *trace.Buffer, target uint64) *depgraph.Analyzer {
+	key := fmt.Sprintf("depgraph/%s/0/%d/%d/%d/%#x",
+		s.Name, cfg.Budget, depgraph.DefaultWindow, 4000, target)
+	return cfg.Cache.Memo(key, func() any {
+		an := depgraph.New(depgraph.DefaultWindow, 4000, target)
+		core.Observe(tr.Stream(), an)
+		return an
+	}).(*depgraph.Analyzer)
 }
 
 // Table3 reproduces Table III: for the top H2P heavy hitter of each
@@ -42,13 +52,12 @@ func Table3(cfg Config) *report.Artifact {
 	// same trace through the dependency analyzer.
 	rows := engine.MapSlice(cfg.Pool(), workload.SPECint2017Like(),
 		func(s *workload.Spec, _ int) []string {
-			tr := s.Record(0, cfg.Budget)
-			target := topHeavyHitterOf(tr, cfg)
+			tr := cfg.RecordTrace(s, 0)
+			target := topHeavyHitter(cfg, s, tr)
 			if target == 0 {
 				return []string{s.Name, "-", "0", "-", "-", "-"}
 			}
-			an := depgraph.New(depgraph.DefaultWindow, 4000, target)
-			core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
+			an := depAnalysis(cfg, s, tr, target)
 			sum := an.Summarize(target)
 			return []string{s.Name, fmt.Sprintf("%#x", target), d(sum.DepBranches),
 				d(sum.MinPos), d(sum.MaxPos), f2(sum.PositionsPerDep)}
@@ -83,13 +92,12 @@ func Fig6(cfg Config) *report.Artifact {
 
 // fig6Table builds one benchmark's dependency-position table.
 func fig6Table(s *workload.Spec, cfg Config) *report.Table {
-	tr := s.Record(0, cfg.Budget)
-	target := topHeavyHitterOf(tr, cfg)
+	tr := cfg.RecordTrace(s, 0)
+	target := topHeavyHitter(cfg, s, tr)
 	if target == 0 {
 		return nil
 	}
-	an := depgraph.New(depgraph.DefaultWindow, 4000, target)
-	core.Run(tr.Stream(), tage.New(tage.Config8KB()), an)
+	an := depAnalysis(cfg, s, tr, target)
 	positions := an.Positions(target)
 	// Group by dependency branch.
 	type depStats struct {
@@ -156,8 +164,8 @@ func Fig9(cfg Config) *report.Artifact {
 	trackers := engine.MapSlice(cfg.Pool(), workload.LCFLike(),
 		func(s *workload.Spec, _ int) *phase.RecurrenceTracker {
 			tracker := phase.NewRecurrenceTracker()
-			tr := s.Record(0, cfg.Budget)
-			core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+			tr := cfg.RecordTrace(s, 0)
+			core.Observe(tr.Stream(), tracker)
 			return tracker
 		})
 	h := stats.NewHistogram(phase.MRIBins...)
@@ -204,13 +212,13 @@ func Fig10(cfg Config) *report.Artifact {
 
 // fig10Table builds one benchmark's register-value table.
 func fig10Table(s *workload.Spec, cfg Config) *report.Table {
-	tr := s.Record(0, cfg.Budget)
-	target := topHeavyHitterOf(tr, cfg)
+	tr := cfg.RecordTrace(s, 0)
+	target := topHeavyHitter(cfg, s, tr)
 	if target == 0 {
 		return nil
 	}
 	tracker := core.NewRegValueTracker(target, 8, 18)
-	core.Run(tr.Stream(), tage.New(tage.Config8KB()), tracker)
+	core.Observe(tr.Stream(), tracker)
 	pts := tracker.Points()
 	tab := report.NewTable(fmt.Sprintf("%s target %#x (%d executions)", s.Name, target, tracker.Execs()),
 		"register", "distinct values", "top value", "top count")

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"runtime"
+	"strings"
 	"testing"
+
+	"branchlab/internal/tracecache"
 )
 
 // The engine's contract is that a parallel run merges work-unit results
@@ -38,6 +41,67 @@ func TestParallelArtifactsByteIdentical(t *testing.T) {
 			if want != got {
 				t.Errorf("parallel artifact differs from sequential:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
 					want, par.Workers, got)
+			}
+		})
+	}
+}
+
+// The trace cache's contract is that serving a recording from memory —
+// including coalescing concurrent recordings and replaying one buffer
+// across drivers — cannot change any artifact byte. This runs the full
+// registry (`-run all`) three ways: uncached sequential, cached
+// sequential, cached parallel; all three renderings must be identical,
+// and the cached runs must have recorded each (workload, input) exactly
+// once (misses == resident entries, no evictions, every other request a
+// hit) — the invocation-level dedup the cache exists to provide.
+func TestCacheRunAllByteIdenticalAndRecordsOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := quickCfg()
+	cfg.Budget = 100_000
+	cfg.SliceLen = 50_000
+
+	runAll := func(cfg Config) string {
+		var b strings.Builder
+		for _, r := range All() {
+			b.WriteString(r.Run(cfg).String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	uncached := cfg
+	uncached.Workers = 1
+	want := runAll(uncached)
+
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"cache/workers=1", 1},
+		{"cache/parallel", parallelWorkers()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cached := cfg
+			cached.Workers = tc.workers
+			cached.Cache = tracecache.New(0)
+			if got := runAll(cached); got != want {
+				t.Errorf("cached artifacts differ from uncached (workers=%d)", tc.workers)
+			}
+			st := cached.Cache.Stats()
+			if st.Evictions != 0 {
+				t.Fatalf("unbounded cache evicted %d entries", st.Evictions)
+			}
+			if st.Misses != uint64(st.Entries) {
+				t.Errorf("recorded %d traces for %d distinct (workload, input) keys: some trace was recorded more than once",
+					st.Misses, st.Entries)
+			}
+			if st.Hits+st.Coalesced == 0 {
+				t.Error("cache served no repeat requests; drivers are not recording through it")
+			}
+			if st.MemoHits == 0 {
+				t.Error("memo served no repeat screenings/IPC cells; drivers are not memoizing derived results")
 			}
 		})
 	}

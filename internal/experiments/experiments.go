@@ -16,6 +16,7 @@ import (
 	"branchlab/internal/report"
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
+	"branchlab/internal/tracecache"
 	"branchlab/internal/workload"
 )
 
@@ -29,10 +30,26 @@ type Config struct {
 	StorageKB  []int  // TAGE-SC-L budgets for the limit study
 	MaxInputs  int    // cap on application inputs per workload
 	Workers    int    // engine workers per experiment (0 = NumCPU)
+
+	// Cache, when non-nil, is the shared trace cache: every driver
+	// records (workload, input) traces through it, so one `-run all`
+	// invocation synthesizes each trace once instead of once per driver.
+	// nil disables caching; artifacts are byte-identical either way.
+	Cache *tracecache.Cache
 }
 
 // Pool returns the engine pool the experiment's work units run on.
 func (c Config) Pool() *engine.Pool { return engine.New(c.Workers) }
+
+// RecordTrace materializes one workload input's trace at the configured
+// budget, through the shared cache when one is configured. All drivers
+// record through this so concurrent work units requesting the same trace
+// coalesce onto a single recording.
+func (c Config) RecordTrace(s *workload.Spec, input int) *trace.Buffer {
+	return c.Cache.Record(s.Name, input, c.Budget, func() *trace.Buffer {
+		return s.Record(input, c.Budget)
+	})
+}
 
 // Default returns the configuration used for EXPERIMENTS.md.
 func Default() Config {
@@ -98,10 +115,10 @@ func ByID(id string) (Runner, bool) {
 // --- shared helpers ----------------------------------------------------
 
 // recordSuite materializes one trace per workload (input 0), one engine
-// work unit per workload.
-func recordSuite(pool *engine.Pool, specs []*workload.Spec, budget uint64) map[string]*trace.Buffer {
+// work unit per workload, through the configured trace cache.
+func recordSuite(cfg Config, pool *engine.Pool, specs []*workload.Spec) map[string]*trace.Buffer {
 	bufs := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) *trace.Buffer {
-		return s.Record(0, budget)
+		return cfg.RecordTrace(s, 0)
 	})
 	out := make(map[string]*trace.Buffer, len(specs))
 	for i, s := range specs {
@@ -140,9 +157,46 @@ func screenH2Ps(tr *trace.Buffer, sliceLen uint64) (*core.H2PReport, *core.Colle
 	return rep, col
 }
 
+// screened pairs one screening pass's outputs for memoization.
+type screened struct {
+	rep *core.H2PReport
+	col *core.Collector
+}
+
+// screenBranches screens one workload input under the baseline
+// predictor, memoized in the shared cache: ten drivers screen the same
+// input-0 traces under identical criteria, so one TAGE run per
+// (workload, input) serves them all. tr must be the (s, input) trace at
+// the configured budget — callers pass the buffer they already hold so
+// the uncached path records exactly as often as before. The returned
+// report and collector are shared across drivers and must be treated as
+// read-only (all their methods are).
+func screenBranches(cfg Config, s *workload.Spec, input int, tr *trace.Buffer) (*core.H2PReport, *core.Collector) {
+	key := fmt.Sprintf("h2p/%s/%d/%d/%d", s.Name, input, cfg.Budget, cfg.SliceLen)
+	v := cfg.Cache.Memo(key, func() any {
+		rep, col := screenH2Ps(tr, cfg.SliceLen)
+		return screened{rep, col}
+	}).(screened)
+	return v.rep, v.col
+}
+
 // ipcRun times a trace on the pipeline at the given scale.
 func ipcRun(tr *trace.Buffer, scale int, opt pipeline.Options) pipeline.Result {
 	return pipeline.New(pipeline.Skylake().Scaled(scale)).Run(tr.Stream(), opt)
+}
+
+// ipcCell is ipcRun memoized in the shared cache. sig names the
+// prediction regime (e.g. "tage-8kb", "perfect"); it must uniquely
+// determine opt's behaviour together with (workload, budget, scale),
+// since fig5/fig7/fig8 re-time identical (workload, scale, regime)
+// cells. tr must be the workload's input-0 trace at the configured
+// budget. opt is invoked only on a miss — predictors are stateful, so
+// each computed cell constructs its own.
+func ipcCell(cfg Config, s *workload.Spec, tr *trace.Buffer, scale int, sig string, opt func() pipeline.Options) pipeline.Result {
+	key := fmt.Sprintf("ipc/%s/0/%d/%d/%s", s.Name, cfg.Budget, scale, sig)
+	return cfg.Cache.Memo(key, func() any {
+		return ipcRun(tr, scale, opt())
+	}).(pipeline.Result)
 }
 
 func tagePred(kb int) pipeline.Options {

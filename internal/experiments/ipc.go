@@ -30,11 +30,12 @@ func Fig5(cfg Config) *report.Artifact {
 
 func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *report.Artifact {
 	pool := cfg.Pool()
-	traces := recordSuite(pool, specs, cfg.Budget)
+	traces := recordSuite(cfg, pool, specs)
 
-	// Screen the H2P set per workload under the baseline predictor.
+	// Screen the H2P set per workload under the baseline predictor
+	// (memoized: table drivers screen the same traces).
 	sets := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) map[uint64]bool {
-		rep, _ := screenH2Ps(traces[s.Name], cfg.SliceLen)
+		rep, _ := screenBranches(cfg, s, 0, traces[s.Name])
 		return rep.Set()
 	})
 	h2pSets := make(map[string]map[uint64]bool, len(specs))
@@ -44,17 +45,20 @@ func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *rep
 
 	regimes := []struct {
 		name string
+		sig  string
 		opt  func(s *workload.Spec) pipeline.Options
 	}{
-		{"TAGE-SC-L 8KB", func(*workload.Spec) pipeline.Options { return tagePred(8) }},
-		{"TAGE-SC-L 64KB", func(*workload.Spec) pipeline.Options { return tagePred(64) }},
-		{"Perfect H2Ps", func(s *workload.Spec) pipeline.Options {
+		{"TAGE-SC-L 8KB", "tage-8kb", func(*workload.Spec) pipeline.Options { return tagePred(8) }},
+		{"TAGE-SC-L 64KB", "tage-64kb", func(*workload.Spec) pipeline.Options { return tagePred(64) }},
+		// The H2P set depends on the screening slice length, so it is
+		// part of the regime signature.
+		{"Perfect H2Ps", fmt.Sprintf("perfh2p/slice=%d", cfg.SliceLen), func(s *workload.Spec) pipeline.Options {
 			return pipeline.Options{
 				Predictor:  tage.New(tage.Config8KB()),
 				PerfectIPs: h2pSets[s.Name],
 			}
 		}},
-		{"Perfect BP", func(*workload.Spec) pipeline.Options { return pipeline.Options{PerfectBP: true} }},
+		{"Perfect BP", "perfect", func(*workload.Spec) pipeline.Options { return pipeline.Options{PerfectBP: true} }},
 	}
 
 	// One work unit per (regime, scale, workload) cell; cell index order
@@ -64,7 +68,9 @@ func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *rep
 	cells := engine.Map(pool, len(regimes)*nS*nW, func(i int) float64 {
 		ri, si, wi := i/(nS*nW), (i/nW)%nS, i%nW
 		s := specs[wi]
-		return ipcRun(traces[s.Name], cfg.PipeScales[si], regimes[ri].opt(s)).IPC
+		reg := regimes[ri]
+		return ipcCell(cfg, s, traces[s.Name], cfg.PipeScales[si], reg.sig,
+			func() pipeline.Options { return reg.opt(s) }).IPC
 	})
 
 	// ipc[regime][scale] = geomean IPC.
@@ -125,24 +131,27 @@ func ipcScalingFigure(id, title string, specs []*workload.Spec, cfg Config) *rep
 func Fig7(cfg Config) *report.Artifact {
 	pool := cfg.Pool()
 	specs := workload.LCFLike()
-	traces := recordSuite(pool, specs, cfg.Budget)
+	traces := recordSuite(cfg, pool, specs)
 	a := &report.Artifact{ID: "fig7",
 		Title: "Fraction of TAGE8->perfect IPC gap closed vs TAGE-SC-L storage"}
 
 	// One work unit per (scale, workload) cell; each sweeps the storage
-	// budgets against its own base/perfect gap.
+	// budgets against its own base/perfect gap. Cells are memoized, so
+	// the TAGE-8KB/64KB and perfect runs shared with fig5 time once.
 	nW := len(specs)
 	rows := engine.Map(pool, len(cfg.PipeScales)*nW, func(i int) []float64 {
 		scale, s := cfg.PipeScales[i/nW], specs[i%nW]
-		base := ipcRun(traces[s.Name], scale, tagePred(8))
-		perfect := ipcRun(traces[s.Name], scale, pipeline.Options{PerfectBP: true})
+		tr := traces[s.Name]
+		base := ipcCell(cfg, s, tr, scale, "tage-8kb", func() pipeline.Options { return tagePred(8) })
+		perfect := ipcCell(cfg, s, tr, scale, "perfect", func() pipeline.Options { return pipeline.Options{PerfectBP: true} })
 		gap := perfect.IPC - base.IPC
 		fracs := make([]float64, len(cfg.StorageKB))
 		for ki, kb := range cfg.StorageKB {
 			if kb == 8 || gap <= 0 {
 				continue
 			}
-			res := ipcRun(traces[s.Name], scale, tagePred(kb))
+			res := ipcCell(cfg, s, tr, scale, fmt.Sprintf("tage-%dkb", kb),
+				func() pipeline.Options { return tagePred(kb) })
 			fracs[ki] = (res.IPC - base.IPC) / gap
 		}
 		return fracs
@@ -176,26 +185,33 @@ func Fig7(cfg Config) *report.Artifact {
 func Fig8(cfg Config) *report.Artifact {
 	pool := cfg.Pool()
 	specs := workload.LCFLike()
-	traces := recordSuite(pool, specs, cfg.Budget)
+	traces := recordSuite(cfg, pool, specs)
 	kb := cfg.StorageKB[len(cfg.StorageKB)-1]
 	a := &report.Artifact{ID: "fig8",
 		Title: fmt.Sprintf("IPC opportunity remaining after perfecting frequent branches (TAGE-SC-L %dKB, 1x)", kb)}
 	tab := report.NewTable("fraction of opportunity remaining",
 		"application", "perfect >1000 execs", "perfect >100 execs")
 
-	// One work unit per workload, each timing its four pipeline runs.
+	// One work unit per workload, each timing its four pipeline runs;
+	// the base and perfect cells are memo hits when fig7 ran first.
 	type fig8Row struct{ r1000, r100 float64 }
 	results := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) fig8Row {
-		base := ipcRun(traces[s.Name], 1, tagePred(kb))
-		perfect := ipcRun(traces[s.Name], 1, pipeline.Options{PerfectBP: true})
+		tr := traces[s.Name]
+		base := ipcCell(cfg, s, tr, 1, fmt.Sprintf("tage-%dkb", kb),
+			func() pipeline.Options { return tagePred(kb) })
+		perfect := ipcCell(cfg, s, tr, 1, "perfect",
+			func() pipeline.Options { return pipeline.Options{PerfectBP: true} })
 		gap := perfect.IPC - base.IPC
 		rem := func(minExecs uint64) float64 {
 			if gap <= 0 {
 				return 0
 			}
-			opt := tagePred(kb)
-			opt.MinExecsPerfect = minExecs
-			res := ipcRun(traces[s.Name], 1, opt)
+			res := ipcCell(cfg, s, tr, 1, fmt.Sprintf("minexec=%d/tage-%dkb", minExecs, kb),
+				func() pipeline.Options {
+					opt := tagePred(kb)
+					opt.MinExecsPerfect = minExecs
+					return opt
+				})
 			return (perfect.IPC - res.IPC) / gap
 		}
 		// The thresholds are defined against the paper's 30M-instruction

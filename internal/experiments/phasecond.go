@@ -43,7 +43,7 @@ func PhaseCond(cfg Config) *report.Artifact {
 	}
 	rows := engine.MapSlice(cfg.Pool(), workload.LCFLike(),
 		func(s *workload.Spec, _ int) pcRow {
-			tr := s.Record(0, cfg.Budget)
+			tr := cfg.RecordTrace(s, 0)
 
 			flatCol := core.NewCollector(cfg.SliceLen)
 			core.Run(tr.Stream(), bp.NewBimodal(14), flatCol)

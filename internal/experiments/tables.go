@@ -8,7 +8,6 @@ import (
 	"branchlab/internal/report"
 	"branchlab/internal/simpoint"
 	"branchlab/internal/stats"
-	"branchlab/internal/tage"
 	"branchlab/internal/workload"
 )
 
@@ -23,7 +22,6 @@ func Table1(cfg Config) *report.Artifact {
 		"inputs", "H2P tot", "H2P 3+in", "avg/input", "avg/slice", "execs/H2P/slice", "%mispred H2P")
 
 	var sumPhases, sumAcc, sumAccX, sumPerSlice, sumShare, sumExecs float64
-	crit := core.PaperCriteria().Scaled(cfg.SliceLen)
 	specs := workload.SPECint2017Like()
 	inputsOf := func(s *workload.Spec) int {
 		if s.NumInputs > cfg.MaxInputs {
@@ -34,7 +32,10 @@ func Table1(cfg Config) *report.Artifact {
 
 	// One work unit per (benchmark, input) pair: record, predict, screen
 	// and count phases. Units are keyed so the merge below reassembles
-	// per-benchmark slices in input order.
+	// per-benchmark slices in input order. The screening run is memoized
+	// and shared with the other SPECint drivers; the basic-block vectors
+	// ignore predictions entirely (BBVCollector.Branch is a no-op), so
+	// phase counting rides a cheap predictor-free pass instead.
 	type t1Key struct{ bench, input int }
 	var keys []t1Key
 	for bi, s := range specs {
@@ -48,16 +49,15 @@ func Table1(cfg Config) *report.Artifact {
 		phases int
 	}
 	cells := engine.MapSlice(cfg.Pool(), keys, func(k t1Key, _ int) t1Cell {
-		tr := specs[k.bench].Record(k.input, cfg.Budget)
-		col := core.NewCollector(cfg.SliceLen)
+		tr := cfg.RecordTrace(specs[k.bench], k.input)
+		rep, col := screenBranches(cfg, specs[k.bench], k.input, tr)
 		bbv := simpoint.NewBBVCollector(cfg.SliceLen, simpoint.DefaultDim)
-		core.Run(tr.Stream(), tage.New(tage.Config8KB()), col, bbv)
+		core.Observe(tr.Stream(), bbv)
 		c := t1Cell{
-			rep:    crit.Screen(col),
+			rep:    rep,
 			phases: simpoint.ChooseK(bbv.Vectors(), 20, 1).K,
 		}
-		// Only input 0's collector feeds the per-slice columns; dropping
-		// the rest keeps peak memory at one collector per benchmark.
+		// Only input 0's collector feeds the per-slice columns.
 		if k.input == 0 {
 			c.col = col
 		}
@@ -125,8 +125,8 @@ func Fig2(cfg Config) *report.Artifact {
 	specs := workload.SPECint2017Like()
 	// One work unit per benchmark: record, screen, rank heavy hitters.
 	hitters := engine.MapSlice(cfg.Pool(), specs, func(s *workload.Spec, _ int) []core.HeavyHitter {
-		tr := s.Record(0, cfg.Budget)
-		rep, _ := screenH2Ps(tr, cfg.SliceLen)
+		tr := cfg.RecordTrace(s, 0)
+		rep, _ := screenBranches(cfg, s, 0, tr)
 		return rep.HeavyHitters()
 	})
 	for i, s := range specs {
@@ -179,8 +179,8 @@ func Table2(cfg Config) *report.Artifact {
 		h2ps     float64
 	}
 	rows := engine.MapSlice(cfg.Pool(), specs, func(s *workload.Spec, _ int) t2Row {
-		tr := s.Record(0, cfg.Budget)
-		rep, col := screenH2Ps(tr, cfg.SliceLen)
+		tr := cfg.RecordTrace(s, 0)
+		rep, col := screenBranches(cfg, s, 0, tr)
 		totals := sortedTotals(col)
 		var execs uint64
 		var accSum float64
@@ -223,8 +223,8 @@ func Fig3(cfg Config) *report.Artifact {
 	// shared histograms are filled during the in-order merge.
 	for _, totals := range engine.MapSlice(cfg.Pool(), workload.LCFLike(),
 		func(s *workload.Spec, _ int) []branchTotal {
-			tr := s.Record(0, cfg.Budget)
-			_, col := screenH2Ps(tr, cfg.SliceLen)
+			tr := cfg.RecordTrace(s, 0)
+			_, col := screenBranches(cfg, s, 0, tr)
 			return sortedTotals(col)
 		}) {
 		for _, b := range totals {
@@ -269,8 +269,8 @@ func Fig4(cfg Config) *report.Artifact {
 	// float folds deterministic.
 	for _, totals := range engine.MapSlice(cfg.Pool(), workload.LCFLike(),
 		func(s *workload.Spec, _ int) []branchTotal {
-			tr := s.Record(0, cfg.Budget)
-			_, col := screenH2Ps(tr, cfg.SliceLen)
+			tr := cfg.RecordTrace(s, 0)
+			_, col := screenBranches(cfg, s, 0, tr)
 			return sortedTotals(col)
 		}) {
 		for _, b := range totals {

@@ -255,6 +255,22 @@ func (c *Core) Run(s trace.Stream, opt Options) Result {
 		execCounts = make(map[uint64]uint64) // for MinExecsPerfect
 	)
 
+	// Resolve the predictor's optional interfaces once, outside the
+	// per-instruction loop (same hoist as core.Run).
+	var predTT targetTrainer
+	var predBO bp.BranchObserver
+	if opt.Predictor != nil {
+		predTT, _ = opt.Predictor.(targetTrainer)
+		predBO, _ = opt.Predictor.(bp.BranchObserver)
+	}
+	train := func(ip, target uint64, taken, pred bool) {
+		if predTT != nil {
+			predTT.TrainWithTarget(ip, target, taken, pred)
+			return
+		}
+		opt.Predictor.Train(ip, taken, pred)
+	}
+
 	var inst trace.Inst
 	for s.Next(&inst) {
 		res.Insts++
@@ -333,16 +349,16 @@ func (c *Core) Run(s trace.Stream, opt Options) Result {
 				// so shared history matches deployment.
 				if opt.Predictor != nil {
 					p := opt.Predictor.Predict(inst.IP)
-					trainCond(opt.Predictor, inst.IP, inst.Target, inst.Taken, p)
+					train(inst.IP, inst.Target, inst.Taken, p)
 				}
 			case opt.MinExecsPerfect > 0 && execCounts[inst.IP] >= opt.MinExecsPerfect:
 				if opt.Predictor != nil {
 					p := opt.Predictor.Predict(inst.IP)
-					trainCond(opt.Predictor, inst.IP, inst.Target, inst.Taken, p)
+					train(inst.IP, inst.Target, inst.Taken, p)
 				}
 			case opt.Predictor != nil:
 				pred = opt.Predictor.Predict(inst.IP)
-				trainCond(opt.Predictor, inst.IP, inst.Target, inst.Taken, pred)
+				train(inst.IP, inst.Target, inst.Taken, pred)
 			}
 			if opt.MinExecsPerfect > 0 {
 				execCounts[inst.IP]++
@@ -359,8 +375,8 @@ func (c *Core) Run(s trace.Stream, opt Options) Result {
 				opt.BranchHook(inst.IP, inst.Target, inst.Taken, pred)
 			}
 		} else if inst.Kind.IsBranch() {
-			if opt.Predictor != nil && !opt.PerfectBP {
-				bp.Observe(opt.Predictor, inst.IP, inst.Target, inst.Kind, inst.Taken)
+			if predBO != nil && !opt.PerfectBP {
+				predBO.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
 			}
 		}
 
@@ -418,15 +434,10 @@ func (c *Core) Run(s trace.Stream, opt Options) Result {
 	return res
 }
 
-func trainCond(p bp.Predictor, ip, target uint64, taken, pred bool) {
-	type targetTrainer interface {
-		TrainWithTarget(ip, target uint64, taken, pred bool)
-	}
-	if tt, ok := p.(targetTrainer); ok {
-		tt.TrainWithTarget(ip, target, taken, pred)
-		return
-	}
-	p.Train(ip, taken, pred)
+// targetTrainer mirrors core's optional target-aware training interface;
+// Run resolves it once per timed run rather than per branch.
+type targetTrainer interface {
+	TrainWithTarget(ip, target uint64, taken, pred bool)
 }
 
 func maxU(a, b uint64) uint64 {

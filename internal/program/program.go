@@ -329,9 +329,12 @@ func (s *Stream) Close() error {
 	return nil
 }
 
-// Record runs payload to completion and materializes the trace.
+// Record runs payload to completion and materializes the trace. The
+// buffer is pre-sized from the budget: payloads run until the budget is
+// exhausted, so the recording's final length is the budget except for
+// payloads that return early.
 func Record(seed, budget uint64, payload Payload) *trace.Buffer {
 	s := Run(seed, budget, payload)
 	defer s.Close()
-	return trace.Record(s)
+	return trace.RecordSized(s, budget)
 }

@@ -175,9 +175,31 @@ func NewBuffer(n int) *Buffer {
 	return &Buffer{insts: make([]Inst, 0, n)}
 }
 
-// Record drains s into a new Buffer.
+// recordCapMax bounds the up-front allocation of RecordSized: beyond
+// ~16M instructions (roughly 640MB of records) growth proceeds by
+// doubling, so a wildly overestimated hint cannot pre-commit the
+// machine's memory.
+const recordCapMax = 1 << 24
+
+// Record drains s into a new Buffer. Callers that know the expected
+// instruction count (e.g. a generation budget) should use RecordSized to
+// avoid repeated slice regrowth on large recordings.
 func Record(s Stream) *Buffer {
-	b := NewBuffer(1 << 16)
+	return RecordSized(s, 1<<16)
+}
+
+// RecordSized drains s into a new Buffer whose capacity is sized from
+// sizeHint, the expected instruction count. The hint only tunes the
+// initial allocation; the recording is complete regardless.
+func RecordSized(s Stream, sizeHint uint64) *Buffer {
+	hint := sizeHint
+	if hint < 1<<10 {
+		hint = 1 << 10
+	}
+	if hint > recordCapMax {
+		hint = recordCapMax
+	}
+	b := NewBuffer(int(hint))
 	var inst Inst
 	for s.Next(&inst) {
 		b.insts = append(b.insts, inst)
@@ -205,6 +227,27 @@ func (b *Buffer) Stream() Stream {
 		i++
 		return true
 	})
+}
+
+// Prefix returns a zero-copy view of the buffer's first n instructions
+// (the whole buffer when n >= Len). The view shares the parent's backing
+// array but caps its capacity, so appending to either afterwards cannot
+// corrupt the other. Replaying a prefix is how the trace cache serves a
+// smaller instruction budget from a longer recording of the same run.
+func (b *Buffer) Prefix(n int) *Buffer {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(b.insts) {
+		n = len(b.insts)
+	}
+	return &Buffer{insts: b.insts[:n:n]}
+}
+
+// PrefixStream returns a reader over the buffer's first n instructions
+// without materializing a view.
+func (b *Buffer) PrefixStream(n int) Stream {
+	return b.Prefix(n).Stream()
 }
 
 // Summary holds aggregate counts describing a trace.

@@ -1,0 +1,336 @@
+// Package tracecache is a content-keyed, concurrency-safe cache of
+// recorded workload traces, shared across one experiments invocation.
+//
+// Every figure/table driver materializes the same (workload, input)
+// traces independently, so a full `cmd/experiments -run all` run used to
+// synthesize each trace up to ~10 times. The cache keys recordings on
+// (workload name, input, budget) and deduplicates them two ways:
+//
+//   - Singleflight: concurrent requests for the same key block on one
+//     in-flight recording instead of each recording their own copy.
+//   - Prefix serving: a request whose budget is at most a cached
+//     buffer's budget is served a zero-copy prefix view of that buffer
+//     (trace.Buffer.Prefix), never a re-recording.
+//
+// Prefix serving is a truncation of the longer recording — the first b
+// instructions of the same program run — not a re-synthesis at the
+// smaller budget. Generators may scale static structure with the budget
+// (see program.Emitter.Budget), so the two differ in general; within one
+// experiments invocation every driver records at the same configured
+// budget, which keeps `-run all` output byte-identical to uncached runs
+// while recording each (workload, input, max-budget) trace exactly once.
+//
+// Memory is bounded by a configurable cap with LRU eviction; evicted
+// traces re-record on next use (deterministically, so results are
+// unaffected — only the hit/miss counters change). Counters are exposed
+// as report-friendly Stats for the CLIs to print to stderr.
+package tracecache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"branchlab/internal/report"
+	"branchlab/internal/trace"
+)
+
+// instBytes is the in-memory footprint of one recorded instruction.
+const instBytes = int64(unsafe.Sizeof(trace.Inst{}))
+
+// key identifies one recordable trace. Budget is deliberately not part
+// of the key: one entry per (workload, input) holds the largest budget
+// recorded so far and serves smaller budgets as prefixes.
+type key struct {
+	name  string
+	input int
+}
+
+// entry is one cached (or in-flight) recording.
+type entry struct {
+	key    key
+	budget uint64        // budget the recording was requested at
+	buf    *trace.Buffer // nil while the recording is in flight
+	bytes  int64
+	ready  chan struct{} // closed when buf is set
+	elem   *list.Element // LRU position; nil while in flight or after eviction
+}
+
+// memoEntry is one cached (or in-flight) derived result (see Memo).
+type memoEntry struct {
+	val   any
+	ok    bool          // false if the computation panicked
+	ready chan struct{} // closed when val/ok are set
+}
+
+// Stats are the cache's lifetime counters. Hits+Coalesced+Misses is the
+// total number of Record calls; MemoHits+MemoMisses the Memo calls.
+type Stats struct {
+	Hits       uint64 // served from a completed recording
+	Coalesced  uint64 // blocked on another goroutine's in-flight recording
+	Misses     uint64 // initiated a recording (== recordings performed)
+	Evictions  uint64 // entries dropped by the LRU memory cap
+	Entries    int    // completed recordings currently resident
+	BytesInUse int64  // resident trace bytes
+	CapBytes   int64  // configured cap (0 = unbounded)
+	MemoHits   uint64 // derived results served from memory (incl. coalesced)
+	MemoMisses uint64 // derived results computed
+}
+
+// Table renders the counters as a report table (for stderr diagnostics).
+func (s Stats) Table() *report.Table {
+	t := report.NewTable("trace cache",
+		"hits", "coalesced", "misses", "evictions", "entries", "MiB in use", "MiB cap",
+		"memo hits", "memo misses")
+	capMiB := "unbounded"
+	if s.CapBytes > 0 {
+		capMiB = fmt.Sprintf("%.1f", float64(s.CapBytes)/(1<<20))
+	}
+	t.AddRow(
+		fmt.Sprintf("%d", s.Hits),
+		fmt.Sprintf("%d", s.Coalesced),
+		fmt.Sprintf("%d", s.Misses),
+		fmt.Sprintf("%d", s.Evictions),
+		fmt.Sprintf("%d", s.Entries),
+		fmt.Sprintf("%.1f", float64(s.BytesInUse)/(1<<20)),
+		capMiB,
+		fmt.Sprintf("%d", s.MemoHits),
+		fmt.Sprintf("%d", s.MemoMisses))
+	return t
+}
+
+// String is a single-line rendering of the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d coalesced=%d misses=%d evictions=%d entries=%d bytes=%d memo=%d/%d",
+		s.Hits, s.Coalesced, s.Misses, s.Evictions, s.Entries, s.BytesInUse,
+		s.MemoHits, s.MemoHits+s.MemoMisses)
+}
+
+// Cache is a concurrency-safe trace cache. The zero value is not usable;
+// construct with New. A nil *Cache is valid everywhere and disables
+// caching (every Record call records).
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[key]*entry
+	memos    map[string]*memoEntry
+	lru      list.List // front = least recently used
+	stats    Stats
+}
+
+// New returns a cache holding at most maxBytes of recorded trace data
+// (the instruction arrays; bookkeeping overhead is not counted).
+// maxBytes <= 0 means unbounded.
+func New(maxBytes int64) *Cache {
+	c := &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[key]*entry),
+		memos:    make(map[string]*memoEntry),
+	}
+	c.lru.Init()
+	return c
+}
+
+// Record returns the trace for (name, input) truncated to budget
+// instructions, invoking record to materialize it on a miss. record must
+// produce the deterministic recording for exactly this (name, input,
+// budget) triple; it is called without the cache lock held, so it may be
+// arbitrarily slow and may itself use the cache under different keys.
+//
+// Concurrent calls for the same key share one recording. A call whose
+// budget exceeds the resident entry's re-records at the larger budget
+// and replaces it.
+func (c *Cache) Record(name string, input int, budget uint64, record func() *trace.Buffer) *trace.Buffer {
+	if c == nil {
+		return record()
+	}
+	k := key{name, input}
+	c.mu.Lock()
+	for {
+		e := c.entries[k]
+		if e == nil {
+			break
+		}
+		if e.buf == nil {
+			// In flight on another goroutine. Wait for it; if it was
+			// requested at a sufficient budget it serves this call too,
+			// otherwise loop and re-record larger.
+			sufficient := e.budget >= budget
+			if sufficient {
+				c.stats.Coalesced++
+			}
+			c.mu.Unlock()
+			<-e.ready
+			c.mu.Lock()
+			if sufficient && e.buf != nil {
+				if e.elem != nil {
+					c.lru.MoveToBack(e.elem)
+				}
+				buf := e.buf
+				c.mu.Unlock()
+				return prefixView(buf, budget)
+			}
+			// Too small — or the recording panicked (buf still nil, entry
+			// withdrawn): loop and record it ourselves.
+			continue
+		}
+		if e.budget >= budget {
+			c.stats.Hits++
+			if e.elem != nil {
+				c.lru.MoveToBack(e.elem)
+			}
+			buf := e.buf
+			c.mu.Unlock()
+			return prefixView(buf, budget)
+		}
+		// Resident but recorded at a smaller budget: drop it and
+		// re-record at the larger one.
+		c.drop(e)
+		break
+	}
+
+	e := &entry{key: k, budget: budget, ready: make(chan struct{})}
+	c.entries[k] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// If record panics, withdraw the entry and wake waiters before
+	// re-raising, so coalesced goroutines retry instead of deadlocking.
+	done := false
+	defer func() {
+		if done {
+			return
+		}
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		close(e.ready)
+		c.mu.Unlock()
+	}()
+	buf := record()
+	done = true
+
+	c.mu.Lock()
+	e.buf = buf
+	e.bytes = int64(buf.Len()) * instBytes
+	close(e.ready)
+	if c.entries[k] == e {
+		e.elem = c.lru.PushBack(e)
+		c.bytes += e.bytes
+		c.stats.Entries++
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return prefixView(buf, budget)
+}
+
+// Memo returns the value computed by fn for key, computing it at most
+// once per cache lifetime; concurrent callers of the same key block on
+// the single computation. It memoizes derived analysis results (H2P
+// screenings, IPC cells) that are deterministic functions of cached
+// traces and configuration — results small enough that, unlike traces,
+// they are exempt from the LRU cap and never evicted. (The largest
+// memoized values are screening collectors, roughly 1% of the footprint
+// of the trace they summarize; retaining every one for an invocation is
+// deliberate and costs far less than a single extra trace.) Callers
+// must treat returned values as immutable: the same object is handed to
+// every caller of the key. A nil *Cache computes every call.
+func (c *Cache) Memo(key string, fn func() any) any {
+	if c == nil {
+		return fn()
+	}
+	for {
+		c.mu.Lock()
+		if e, ok := c.memos[key]; ok {
+			c.stats.MemoHits++
+			c.mu.Unlock()
+			<-e.ready
+			if e.ok {
+				return e.val
+			}
+			continue // computation panicked and was withdrawn; retry
+		}
+		e := &memoEntry{ready: make(chan struct{})}
+		c.memos[key] = e
+		c.stats.MemoMisses++
+		c.mu.Unlock()
+
+		defer func() {
+			if !e.ok {
+				c.mu.Lock()
+				if c.memos[key] == e {
+					delete(c.memos, key)
+				}
+				close(e.ready)
+				c.mu.Unlock()
+			}
+		}()
+		val := fn()
+
+		c.mu.Lock()
+		e.val = val
+		e.ok = true
+		close(e.ready)
+		c.mu.Unlock()
+		return val
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesInUse = c.bytes
+	s.CapBytes = c.maxBytes
+	return s
+}
+
+// drop removes a resident entry from the map and LRU (caller holds mu).
+func (c *Cache) drop(e *entry) {
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+		c.bytes -= e.bytes
+		c.stats.Entries--
+	}
+}
+
+// evictLocked enforces the memory cap, least-recently-used first
+// (caller holds mu). In-flight entries are never in the LRU list and so
+// are never evicted. Waiters holding an evicted entry's buffer keep it
+// alive independently of the cache.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes {
+		front := c.lru.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*entry)
+		c.drop(e)
+		c.stats.Evictions++
+	}
+}
+
+// prefixView serves a request of the given budget from buf. Budgets at
+// or above the recorded length get the buffer itself (the common case in
+// one experiments invocation, where all budgets are equal); smaller
+// budgets get a zero-copy prefix view.
+func prefixView(buf *trace.Buffer, budget uint64) *trace.Buffer {
+	if budget >= uint64(buf.Len()) {
+		return buf
+	}
+	return buf.Prefix(int(budget))
+}

@@ -1,0 +1,295 @@
+package tracecache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"branchlab/internal/trace"
+)
+
+// mkBuffer builds a synthetic trace of n instructions whose DstValue
+// encodes the instruction index, so prefix identity is checkable.
+func mkBuffer(n int) *trace.Buffer {
+	b := trace.NewBuffer(n)
+	for i := 0; i < n; i++ {
+		b.Append(trace.Inst{IP: 0x400000 + uint64(i)*4, Kind: trace.KindALU, DstValue: uint64(i)})
+	}
+	return b
+}
+
+// recorder returns a record func that counts its invocations.
+func recorder(n int, calls *atomic.Int64) func() *trace.Buffer {
+	return func() *trace.Buffer {
+		calls.Add(1)
+		return mkBuffer(n)
+	}
+}
+
+func drain(t *testing.T, b *trace.Buffer) []uint64 {
+	t.Helper()
+	var out []uint64
+	var inst trace.Inst
+	s := b.Stream()
+	for s.Next(&inst) {
+		out = append(out, inst.DstValue)
+	}
+	return out
+}
+
+func TestPrefixServing(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	full := c.Record("w", 0, 100, recorder(100, &calls))
+	if full.Len() != 100 {
+		t.Fatalf("full recording has %d insts, want 100", full.Len())
+	}
+	half := c.Record("w", 0, 50, recorder(50, &calls))
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("recorder ran %d times, want 1 (prefix must be served from cache)", got)
+	}
+	if half.Len() != 50 {
+		t.Fatalf("prefix has %d insts, want 50", half.Len())
+	}
+	vals := drain(t, half)
+	for i, v := range vals {
+		if v != uint64(i) {
+			t.Fatalf("prefix inst %d has value %d, want %d", i, v, i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+}
+
+func TestLargerBudgetReRecords(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	c.Record("w", 0, 50, recorder(50, &calls))
+	big := c.Record("w", 0, 100, recorder(100, &calls))
+	if calls.Load() != 2 {
+		t.Fatalf("recorder ran %d times, want 2 (larger budget must re-record)", calls.Load())
+	}
+	if big.Len() != 100 {
+		t.Fatalf("re-recording has %d insts, want 100", big.Len())
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (smaller recording replaced)", st.Entries)
+	}
+	// The replacement serves subsequent smaller requests.
+	c.Record("w", 0, 50, recorder(50, &calls))
+	if calls.Load() != 2 {
+		t.Fatalf("recorder ran %d times after replacement hit, want 2", calls.Load())
+	}
+}
+
+func TestBufferPrefixIsZeroCopyAndAppendSafe(t *testing.T) {
+	parent := mkBuffer(10)
+	view := parent.Prefix(4)
+	if view.Len() != 4 {
+		t.Fatalf("view len %d, want 4", view.Len())
+	}
+	// Appending to the view must not clobber parent[4].
+	view.Append(trace.Inst{DstValue: 999})
+	if got := parent.At(4).DstValue; got != 4 {
+		t.Fatalf("append to prefix view corrupted parent: parent[4].DstValue = %d, want 4", got)
+	}
+	if got := view.At(4).DstValue; got != 999 {
+		t.Fatalf("view append lost: view[4].DstValue = %d, want 999", got)
+	}
+	// Out-of-range prefixes clamp.
+	if parent.Prefix(99).Len() != 10 || parent.Prefix(-1).Len() != 0 {
+		t.Fatal("Prefix must clamp to [0, Len]")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Cap sized for two 100-instruction recordings.
+	c := New(2 * 100 * instBytes)
+	var calls atomic.Int64
+	c.Record("a", 0, 100, recorder(100, &calls))
+	c.Record("b", 0, 100, recorder(100, &calls))
+	c.Record("a", 0, 100, recorder(100, &calls)) // touch a: b is now LRU
+	c.Record("c", 0, 100, recorder(100, &calls)) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 entries", st)
+	}
+	if st.BytesInUse != 2*100*instBytes {
+		t.Fatalf("bytes in use %d, want %d", st.BytesInUse, 2*100*instBytes)
+	}
+	calls.Store(0)
+	c.Record("a", 0, 100, recorder(100, &calls))
+	if calls.Load() != 0 {
+		t.Fatal("a should have survived (recently used)")
+	}
+	c.Record("b", 0, 100, recorder(100, &calls))
+	if calls.Load() != 1 {
+		t.Fatal("b should have been evicted and re-recorded")
+	}
+}
+
+func TestCapSmallerThanOneTrace(t *testing.T) {
+	// A cache smaller than a single recording degrades to recording
+	// every time, never caching — but still returns correct traces.
+	c := New(10 * instBytes)
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		b := c.Record("w", 0, 100, recorder(100, &calls))
+		if b.Len() != 100 {
+			t.Fatalf("iteration %d: got %d insts, want 100", i, b.Len())
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("recorder ran %d times, want 3", calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 0 || st.BytesInUse != 0 {
+		t.Fatalf("stats = %+v, want empty cache", st)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	const goroutines = 16
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	bufs := make([]*trace.Buffer, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			bufs[g] = c.Record("w", 0, 5000, recorder(5000, &calls))
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("recorder ran %d times under %d concurrent requests, want 1", calls.Load(), goroutines)
+	}
+	for g := 1; g < goroutines; g++ {
+		if bufs[g] != bufs[0] {
+			t.Fatalf("goroutine %d got a different buffer", g)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits+coalesced", st, goroutines-1)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "even"
+			if g%2 == 1 {
+				name = "odd"
+			}
+			b := c.Record(name, g%4/2, 1000, recorder(1000, &calls))
+			if b.Len() != 1000 {
+				t.Errorf("bad recording length %d", b.Len())
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 2 names x 2 inputs = 4 distinct keys, each recorded exactly once.
+	if calls.Load() != 4 {
+		t.Fatalf("recorder ran %d times, want 4", calls.Load())
+	}
+	if st := c.Stats(); st.Misses != 4 || st.Entries != 4 {
+		t.Fatalf("stats = %+v, want 4 misses and 4 entries", st)
+	}
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	const goroutines = 16
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	vals := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			vals[g] = c.Memo("screen/w/0", func() any {
+				calls.Add(1)
+				return &Stats{Hits: 42}
+			})
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("memo fn ran %d times under %d concurrent requests, want 1", calls.Load(), goroutines)
+	}
+	for g := 1; g < goroutines; g++ {
+		if vals[g] != vals[0] {
+			t.Fatalf("goroutine %d got a different memo value", g)
+		}
+	}
+	st := c.Stats()
+	if st.MemoMisses != 1 || st.MemoHits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 memo miss and %d memo hits", st, goroutines-1)
+	}
+	// Distinct keys compute independently.
+	c.Memo("screen/w/1", func() any { calls.Add(1); return nil })
+	if calls.Load() != 2 {
+		t.Fatalf("distinct memo key did not compute; calls = %d", calls.Load())
+	}
+}
+
+func TestNilCacheMemoPassthrough(t *testing.T) {
+	var c *Cache
+	var calls atomic.Int64
+	for i := 0; i < 2; i++ {
+		c.Memo("k", func() any { calls.Add(1); return i })
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("nil cache memoized; calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestNilCachePassthrough(t *testing.T) {
+	var c *Cache
+	var calls atomic.Int64
+	for i := 0; i < 2; i++ {
+		if b := c.Record("w", 0, 10, recorder(10, &calls)); b.Len() != 10 {
+			t.Fatal("nil cache must pass recordings through")
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("nil cache recorded %d times, want 2 (no caching)", calls.Load())
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+func TestStatsRendering(t *testing.T) {
+	c := New(1 << 20)
+	var calls atomic.Int64
+	c.Record("w", 0, 10, recorder(10, &calls))
+	c.Record("w", 0, 10, recorder(10, &calls))
+	st := c.Stats()
+	if st.String() == "" {
+		t.Fatal("empty String rendering")
+	}
+	tab := st.Table()
+	if len(tab.Rows) != 1 {
+		t.Fatalf("stats table has %d rows, want 1", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "1" || tab.Rows[0][2] != "1" {
+		t.Fatalf("stats table row = %v, want hits=1 misses=1", tab.Rows[0])
+	}
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR2 hot-path benchmarks and emit BENCH_PR2.json.
+#
+# The tracked benchmarks are the perf trajectory of the trace cache and
+# the core.Run loop optimization:
+#   BenchmarkRunAll/cache={off,on}   - full `-run all` registry, uncached vs cached
+#   BenchmarkCoreRun/observers={off,on} - replay loop fast path vs fan-out path
+#   BenchmarkTraceCacheHit           - cache serve-from-memory cost
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=1x scripts/bench.sh        # CI smoke (one iteration each)
+#   BENCHTIME=5s scripts/bench.sh        # stable numbers for doc updates
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+benchtime="${BENCHTIME:-1s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$' \
+  -benchtime "$benchtime" . | tee "$raw" >&2
+
+awk -v benchtime="$benchtime" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+    iters = $2
+    ns = $3
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, ns
+  }
+  BEGIN { printf "{\n\"benchtime\": \"%s\",\n\"results\": [\n", benchtime }
+  END   { printf "\n]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
