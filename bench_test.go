@@ -110,8 +110,9 @@ func BenchmarkRunAll(b *testing.B) {
 
 // BenchmarkCoreRun isolates the core.Run replay loop: the no-observer
 // fast path (pure MPKI measurement) against the fan-out path with a
-// collector attached. Both replay the same recorded trace through
-// TAGE-SC-L 8KB.
+// collector attached, plus the pre-PR3 per-instruction reference loop
+// — the block-vs-per-instruction contrast recorded in EXPERIMENTS.md.
+// All replay the same recorded trace through TAGE-SC-L 8KB.
 func BenchmarkCoreRun(b *testing.B) {
 	spec, _ := branchlab.Workload("605.mcf_s")
 	tr := branchlab.RecordTrace(spec, 0, 500_000)
@@ -127,6 +128,74 @@ func BenchmarkCoreRun(b *testing.B) {
 			branchlab.Run(tr.Stream(), branchlab.NewTAGESCL(8), branchlab.NewCollector(125_000))
 		}
 	})
+	b.Run("perinst-reference", func(b *testing.B) {
+		b.SetBytes(500_000)
+		for i := 0; i < b.N; i++ {
+			runPerInstReference(tr.Stream(), branchlab.NewTAGESCL(8))
+		}
+	})
+}
+
+// targetTrainerRef / branchObserverRef mirror the optional predictor
+// interfaces the measurement loop resolves, for the reference loop.
+type targetTrainerRef interface {
+	TrainWithTarget(ip, target uint64, taken, pred bool)
+}
+type branchObserverRef interface {
+	ObserveBranch(ip, target uint64, kind branchlab.Kind, taken bool)
+}
+
+// runPerInstReference is the pre-block measurement loop — one
+// Stream.Next virtual call and one 40-byte copy per instruction —
+// kept as the benchmark baseline the block pipeline is measured
+// against.
+func runPerInstReference(s branchlab.Stream, p branchlab.Predictor) branchlab.RunStats {
+	tt, _ := p.(targetTrainerRef)
+	bo, _ := p.(branchObserverRef)
+	var st branchlab.RunStats
+	var inst branchlab.Inst
+	for s.Next(&inst) {
+		if inst.IsCondBranch() {
+			st.CondExecs++
+			pred := p.Predict(inst.IP)
+			if pred != inst.Taken {
+				st.Mispreds++
+			}
+			if tt != nil {
+				tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
+			} else {
+				p.Train(inst.IP, inst.Taken, pred)
+			}
+		} else if inst.IsBranch() {
+			if bo != nil {
+				bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+			}
+		}
+		st.Insts++
+	}
+	return st
+}
+
+// BenchmarkRecordSharded contrasts sequential trace recording with
+// sharded generation at NumCPU workers: on a multi-core host the
+// materialization path overlaps across shards; on one core the two
+// coincide (sharding costs prefix regeneration but saves the channel
+// handoff).
+func BenchmarkRecordSharded(b *testing.B) {
+	spec, _ := branchlab.Workload("605.mcf_s")
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(500_000)
+			pool := branchlab.NewEnginePool(shards)
+			for i := 0; i < b.N; i++ {
+				branchlab.RecordTraceSharded(spec, 0, 500_000, pool, shards)
+			}
+		})
+	}
 }
 
 // BenchmarkTraceCacheHit measures the cache's serve-from-memory cost

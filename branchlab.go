@@ -48,6 +48,9 @@ type (
 	Inst = trace.Inst
 	// Stream is a forward-only instruction producer.
 	Stream = trace.Stream
+	// BlockStream is a forward-only producer of instruction batches,
+	// the replay hot path (see Blocks/RunBlocks).
+	BlockStream = trace.BlockStream
 	// Buffer is a materialized, replayable trace.
 	Buffer = trace.Buffer
 	// Kind classifies instructions.
@@ -112,13 +115,34 @@ func SPECint2017Like() []*WorkloadSpec { return workload.SPECint2017Like() }
 func LCFLike() []*WorkloadSpec { return workload.LCFLike() }
 
 // Run drives a stream through a predictor, fanning events to observers.
+// The replay iterates the trace in blocks — zero-copy when the stream
+// serves them natively, as every Buffer replay does.
 func Run(s Stream, p Predictor, obs ...Observer) RunStats { return core.Run(s, p, obs...) }
+
+// RunBlocks is Run over an explicit block stream (see Blocks).
+func RunBlocks(bs BlockStream, p Predictor, obs ...Observer) RunStats {
+	return core.RunBlocks(bs, p, obs...)
+}
+
+// Blocks adapts a stream to block iteration with blocks of at most n
+// instructions; block-native streams are better passed to RunBlocks via
+// their own serving (Buffer.BlockStream).
+func Blocks(s Stream, n int) BlockStream { return trace.Blocks(s, n) }
 
 // Observe replays a stream through observers with no predictor — the
 // fast path for analysis passes (dependency graphs, recurrence
 // tracking, BBV collection, register values, helper-training history)
 // whose observers ignore predictions.
 func Observe(s Stream, obs ...Observer) RunStats { return core.Observe(s, obs...) }
+
+// ObserveFrom is Observe with observers numbered from a base global
+// instruction index — the shard replay entry point: index-keyed
+// observers over slice-aligned ranges of one long trace (Buffer.Slice)
+// can run on separate workers and Merge back to the exact sequential
+// result (Collector.Merge, RecurrenceTracker.Merge, BBV merging).
+func ObserveFrom(s Stream, base uint64, obs ...Observer) RunStats {
+	return core.ObserveFrom(s, base, obs...)
+}
 
 // NewCollector returns a Collector with the given slice length.
 func NewCollector(sliceLen uint64) *Collector { return core.NewCollector(sliceLen) }
@@ -140,6 +164,15 @@ func CloseStream(s Stream) error { return trace.CloseStream(s) }
 // input.
 func RecordTrace(spec *WorkloadSpec, input int, budget uint64) *Buffer {
 	return spec.Record(input, budget)
+}
+
+// RecordTraceSharded is RecordTrace with the generation split across
+// pool workers (nil selects a NumCPU pool): each worker deterministically
+// regenerates the trace from its seed and materializes one disjoint
+// range of the backing array. The result is byte-identical to
+// RecordTrace at any shard count.
+func RecordTraceSharded(spec *WorkloadSpec, input int, budget uint64, pool *EnginePool, shards int) *Buffer {
+	return spec.RecordSharded(input, budget, pool, shards)
 }
 
 // TraceCache is a content-keyed, concurrency-safe cache of recorded

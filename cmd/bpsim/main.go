@@ -7,6 +7,7 @@
 //	bpsim -workload 605.mcf_s -predictor tage-sc-l-8 -budget 2000000
 //	bpsim -workload game -predictor tage-sc-l-64 -pipeline 4
 //	bpsim -workload game -pipeline 1,4,16 -parallel 3
+//	bpsim -workload game -budget 8000000 -recshards 4
 //	bpsim -trace trace.blt -predictor gshare
 //	bpsim -list
 //
@@ -42,6 +43,7 @@ func main() {
 		sliceLen     = flag.Uint64("slice", 500_000, "slice length for H2P screening")
 		pipeScales   = flag.String("pipeline", "", "pipeline scale(s), comma-separated (empty = accuracy only)")
 		parallel     = flag.Int("parallel", 0, "engine workers for the pipeline sweep (0 = NumCPU)")
+		recShards    = flag.Int("recshards", 0, "record the workload trace on this many workers (<= 1 = sequential; byte-identical)")
 		list         = flag.Bool("list", false, "list workloads and predictors")
 		top          = flag.Int("top", 0, "print the top-N mispredicting branches")
 	)
@@ -69,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, scales, *parallel); err != nil {
+	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, scales, *parallel, *recShards); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
@@ -95,7 +97,7 @@ func parseScales(s string) ([]int, error) {
 
 var topN int
 
-func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScales []int, parallel int) error {
+func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScales []int, parallel, recShards int) error {
 	pred, err := zoo.New(predName)
 	if err != nil {
 		return err
@@ -103,11 +105,12 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 
 	// Multi-scale workload sweeps record the trace once through the
 	// cache and replay the buffer for the accuracy pass and every
-	// pipeline scale. Accuracy-only and single-scale runs stream at
-	// O(1) memory (the budget can be arbitrarily large), as do trace
-	// files.
+	// pipeline scale; -recshards opts the recording itself into sharded
+	// generation (byte-identical, so it also forces materialization).
+	// Accuracy-only and single-scale runs otherwise stream at O(1)
+	// memory (the budget can be arbitrarily large), as do trace files.
 	var cache *tracecache.Cache
-	if traceFile == "" && len(pipeScales) > 1 {
+	if traceFile == "" && (len(pipeScales) > 1 || recShards > 1) {
 		cache = tracecache.New(0)
 	}
 	open := func() (trace.Stream, func(), error) {
@@ -127,6 +130,9 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 			return s, func() { trace.CloseStream(s) }, nil
 		}
 		buf := cache.Record(spec.Name, input, budget, func() *trace.Buffer {
+			if recShards > 1 {
+				return spec.RecordSharded(input, budget, engine.New(parallel), recShards)
+			}
 			return spec.Record(input, budget)
 		})
 		return buf.Stream(), func() {}, nil

@@ -18,7 +18,9 @@
 // Workload traces are recorded once per (workload, input) through a
 // shared in-memory cache and replayed by every experiment that needs
 // them; -tracecache bounds the cache in MiB (0 disables it). Cache
-// counters print to stderr, keeping stdout diff-able.
+// counters print to stderr, keeping stdout diff-able. -recshards N
+// records each trace on N workers (sharded deterministic recording);
+// output stays byte-identical in every combination of flags.
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 		slice    = flag.Uint64("slice", 0, "override slice length")
 		parallel = flag.Int("parallel", 0, "engine workers per experiment (0 = NumCPU)")
 		cacheMB  = flag.Int64("tracecache", 4096, "shared trace cache size in MiB (-1 = unbounded, 0 = off)")
+		shards   = flag.Int("recshards", 0, "record each trace on this many workers (<= 1 = sequential; output is byte-identical)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,7 @@ func main() {
 		cfg.SliceLen = *slice
 	}
 	cfg.Workers = *parallel
+	cfg.RecordShards = *shards
 	if *cacheMB != 0 {
 		limit := *cacheMB << 20
 		if limit < 0 {

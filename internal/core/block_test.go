@@ -1,0 +1,316 @@
+package core
+
+import (
+	"testing"
+
+	"branchlab/internal/bp"
+	"branchlab/internal/engine"
+	"branchlab/internal/trace"
+	"branchlab/internal/xrand"
+)
+
+// histPredictor is a little gshare: stateful and history-sensitive, so
+// any reordering, skip or duplication of branches in the replay loop
+// changes its predictions and is caught by the equivalence tests.
+type histPredictor struct {
+	hist    uint64
+	table   [1 << 12]int8
+	trains  int
+	targets int
+	seen    uint64
+}
+
+func (p *histPredictor) idx(ip uint64) uint64 { return (ip ^ p.hist) & (1<<12 - 1) }
+func (p *histPredictor) Predict(ip uint64) bool {
+	return p.table[p.idx(ip)] >= 0
+}
+func (p *histPredictor) Train(ip uint64, taken, pred bool) {
+	i := p.idx(ip)
+	if taken && p.table[i] < 3 {
+		p.table[i]++
+	}
+	if !taken && p.table[i] > -4 {
+		p.table[i]--
+	}
+	p.hist = p.hist<<1 | b2u(taken)
+	p.trains++
+}
+func (p *histPredictor) TrainWithTarget(ip, target uint64, taken, pred bool) {
+	p.targets++
+	p.hist ^= target << 3
+	p.Train(ip, taken, pred)
+}
+func (p *histPredictor) ObserveBranch(ip, target uint64, kind trace.Kind, taken bool) {
+	p.hist = p.hist<<2 ^ ip ^ target
+	p.seen++
+}
+func (p *histPredictor) Name() string { return "hist-test" }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// randomTrace mixes every instruction class with a handful of branch
+// IPs whose directions are pseudo-random.
+func randomTrace(n int, seed uint64) *trace.Buffer {
+	r := xrand.New(seed)
+	b := trace.NewBuffer(n)
+	for i := 0; i < n; i++ {
+		inst := trace.Inst{IP: uint64(0x1000 + 4*i%512), Kind: trace.KindALU,
+			DstReg: trace.NoReg, SrcRegs: [2]uint8{trace.NoReg, trace.NoReg}}
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			inst.Kind = trace.KindCondBr
+			inst.IP = uint64(0xA000 + 64*r.Intn(12))
+			inst.Taken = r.Bool(0.6)
+			inst.Target = inst.IP + 32
+		case 3:
+			inst.Kind = trace.KindJump
+			inst.Target = uint64(0xC000 + 64*r.Intn(4))
+			inst.Taken = true
+		case 4:
+			inst.Kind = trace.KindLoad
+			inst.MemAddr = r.Uint64() % (1 << 20)
+			inst.DstReg = uint8(r.Intn(30))
+		}
+		b.Append(inst)
+	}
+	return b
+}
+
+// runPerInst is the pre-block reference loop: one Stream.Next per
+// instruction, semantics identical to RunBlocks by construction.
+func runPerInst(s trace.Stream, p bp.Predictor, obs ...Observer) RunStats {
+	tt, _ := p.(interface {
+		TrainWithTarget(ip, target uint64, taken, pred bool)
+	})
+	bo, _ := p.(bp.BranchObserver)
+	var st RunStats
+	var inst trace.Inst
+	var i uint64
+	for s.Next(&inst) {
+		for _, o := range obs {
+			o.Inst(i, &inst)
+		}
+		if inst.Kind == trace.KindCondBr {
+			st.CondExecs++
+			pred := p.Predict(inst.IP)
+			if pred != inst.Taken {
+				st.Mispreds++
+			}
+			if tt != nil {
+				tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
+			} else {
+				p.Train(inst.IP, inst.Taken, pred)
+			}
+			for _, o := range obs {
+				o.Branch(i, &inst, pred)
+			}
+		} else if inst.Kind.IsBranch() {
+			if bo != nil {
+				bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+			}
+		}
+		i++
+	}
+	st.Insts = i
+	return st
+}
+
+func assertCollectorsEqual(t *testing.T, got, want *Collector, label string) {
+	t.Helper()
+	if got.SliceLen != want.SliceLen {
+		t.Fatalf("%s: slice length %d != %d", label, got.SliceLen, want.SliceLen)
+	}
+	if len(got.Slices) != len(want.Slices) {
+		t.Fatalf("%s: %d slices, want %d", label, len(got.Slices), len(want.Slices))
+	}
+	for i, w := range want.Slices {
+		g := got.Slices[i]
+		if g.Index != w.Index || g.Insts != w.Insts || g.CondExecs != w.CondExecs || g.Mispreds != w.Mispreds {
+			t.Fatalf("%s: slice %d header differs: %+v != %+v", label, i, *g, *w)
+		}
+		if len(g.PerBranch) != len(w.PerBranch) {
+			t.Fatalf("%s: slice %d has %d branches, want %d", label, i, len(g.PerBranch), len(w.PerBranch))
+		}
+		for ip, wb := range w.PerBranch {
+			gb := g.PerBranch[ip]
+			if gb == nil || *gb != *wb {
+				t.Fatalf("%s: slice %d branch %#x differs: %+v != %+v", label, i, ip, gb, wb)
+			}
+		}
+	}
+}
+
+// The block-based loop must produce bit-identical statistics and
+// collector contents to the per-instruction reference at every block
+// size — the property that lets every replay site switch to blocks
+// without any artifact changing.
+func TestRunBlocksEquivalentToPerInstruction(t *testing.T) {
+	tr := randomTrace(20_000, 7)
+	wantCol := NewCollector(3_000)
+	wantPred := &histPredictor{}
+	want := runPerInst(tr.Stream(), wantPred, wantCol)
+	if want.CondExecs == 0 || want.Mispreds == 0 {
+		t.Fatal("degenerate reference run")
+	}
+	for _, n := range []int{1, 3, 17, 255, 4096, 30_000} {
+		col := NewCollector(3_000)
+		pred := &histPredictor{}
+		got := RunBlocks(trace.Blocks(tr.Stream(), n), pred, col)
+		if got != want {
+			t.Fatalf("block=%d: stats %+v != %+v", n, got, want)
+		}
+		if pred.hist != wantPred.hist || pred.trains != wantPred.trains ||
+			pred.targets != wantPred.targets || pred.seen != wantPred.seen {
+			t.Fatalf("block=%d: predictor state diverged", n)
+		}
+		assertCollectorsEqual(t, col, wantCol, "block run")
+	}
+	// Run over the buffer's native block serving, and the no-observer
+	// fast path, agree too.
+	pred := &histPredictor{}
+	if got := Run(tr.Stream(), pred); got != want {
+		t.Fatalf("native fast path: stats %+v != %+v", got, want)
+	}
+	if pred.hist != wantPred.hist {
+		t.Fatal("native fast path: predictor state diverged")
+	}
+}
+
+func TestObserveBlocksEquivalent(t *testing.T) {
+	tr := randomTrace(10_000, 11)
+	wantCol := NewCollector(1_000)
+	want := Observe(tr.Stream(), wantCol)
+	for _, n := range []int{1, 7, 1024} {
+		col := NewCollector(1_000)
+		got := ObserveBlocks(trace.Blocks(tr.Stream(), n), col)
+		if got != want {
+			t.Fatalf("block=%d: stats %+v != %+v", n, got, want)
+		}
+		assertCollectorsEqual(t, col, wantCol, "observe blocks")
+	}
+}
+
+// Splitting a trace at slice boundaries, observing each shard with
+// global indices, and merging the shard collectors must reproduce the
+// sequential collector exactly.
+func TestCollectorMergeMatchesSequential(t *testing.T) {
+	const sliceLen = 1_000
+	tr := randomTrace(10_500, 13) // deliberately not slice-aligned overall
+	want := NewCollector(sliceLen)
+	Observe(tr.Stream(), want)
+
+	for _, shardLen := range []int{sliceLen, 3 * sliceLen, 4_000} {
+		var parts []*Collector
+		for lo := 0; lo < tr.Len(); lo += shardLen {
+			hi := lo + shardLen
+			if hi > tr.Len() {
+				hi = tr.Len()
+			}
+			c := NewCollector(sliceLen)
+			st := ObserveFrom(tr.Slice(lo, hi).Stream(), uint64(lo), c)
+			if st.Insts != uint64(hi-lo) {
+				t.Fatalf("shard stats counted %d insts, want %d", st.Insts, hi-lo)
+			}
+			parts = append(parts, c)
+		}
+		acc := parts[0]
+		for _, p := range parts[1:] {
+			acc.Merge(p)
+		}
+		assertCollectorsEqual(t, acc, want, "sharded")
+	}
+
+	// Mid-slice splits overlap a slice index; Merge must sum them.
+	a, b := NewCollector(sliceLen), NewCollector(sliceLen)
+	ObserveFrom(tr.Slice(0, 2_500).Stream(), 0, a)
+	ObserveFrom(tr.Slice(2_500, tr.Len()).Stream(), 2_500, b)
+	a.Merge(b)
+	assertCollectorsEqual(t, a, want, "mid-slice split")
+}
+
+// The merged collector must keep accepting observations: Merge
+// invalidates the append cursor, and a later observation whose slice
+// index is already resident (or belongs between resident slices) must
+// resolve into the sorted slice list instead of appending a duplicate.
+func TestCollectorMergeThenObserve(t *testing.T) {
+	const sliceLen = 1_000
+	tr := randomTrace(6_000, 17)
+	want := NewCollector(sliceLen)
+	Observe(tr.Stream(), want)
+
+	a, b := NewCollector(sliceLen), NewCollector(sliceLen)
+	ObserveFrom(tr.Slice(0, 2_000).Stream(), 0, a)
+	ObserveFrom(tr.Slice(2_000, 4_000).Stream(), 2_000, b)
+	a.Merge(b)
+	ObserveFrom(tr.Slice(4_000, 6_000).Stream(), 4_000, a)
+	assertCollectorsEqual(t, a, want, "merge then observe")
+
+	// Out-of-order shard arrival: the merged collector already holds
+	// slices 0-2 (2 partially) and 4-5; the remaining middle range
+	// must fold into the existing slice-2 entry and insert slice 3 in
+	// sorted position.
+	c, d := NewCollector(sliceLen), NewCollector(sliceLen)
+	ObserveFrom(tr.Slice(0, 2_500).Stream(), 0, c)
+	ObserveFrom(tr.Slice(4_000, 6_000).Stream(), 4_000, d)
+	c.Merge(d)
+	ObserveFrom(tr.Slice(2_500, 4_000).Stream(), 2_500, c)
+	assertCollectorsEqual(t, c, want, "observe into merged gap")
+}
+
+func TestCollectorMergePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on slice-length mismatch")
+		}
+	}()
+	NewCollector(100).Merge(NewCollector(200))
+}
+
+// Shard collectors built concurrently on the engine pool and merged in
+// order (and in a different grouping) reproduce the sequential result;
+// run under -race this doubles as the data-race check for the
+// split/merge pattern the experiment drivers use.
+func TestCollectorShardsParallelAndAssociative(t *testing.T) {
+	const sliceLen = 500
+	tr := randomTrace(12_000, 23)
+	want := NewCollector(sliceLen)
+	Observe(tr.Stream(), want)
+
+	shard := func(w, shardLen int) *Collector {
+		lo := w * shardLen
+		hi := lo + shardLen
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		c := NewCollector(sliceLen)
+		ObserveFrom(tr.Slice(lo, hi).Stream(), uint64(lo), c)
+		return c
+	}
+	const shardLen = 3 * sliceLen
+	n := (tr.Len() + shardLen - 1) / shardLen
+	build := func() []*Collector {
+		return engine.Map(engine.New(4), n, func(w int) *Collector { return shard(w, shardLen) })
+	}
+
+	left := build()
+	acc := left[0]
+	for _, p := range left[1:] {
+		acc.Merge(p)
+	}
+	assertCollectorsEqual(t, acc, want, "left fold")
+
+	// Right-leaning grouping: merge the tail first.
+	right := build()
+	tail := right[n-1]
+	for i := n - 2; i >= 1; i-- {
+		right[i].Merge(tail)
+		tail = right[i]
+	}
+	right[0].Merge(tail)
+	assertCollectorsEqual(t, right[0], want, "right fold")
+}

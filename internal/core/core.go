@@ -47,6 +47,11 @@ func (s *SliceStats) Accuracy() float64 {
 // Observer receives per-instruction callbacks during a measurement run.
 // Implementations include the Collector and the analysis substrates
 // (dependency graphs, recurrence tracking, BBV collection).
+//
+// Observers must treat *inst as read-only: the measurement loops
+// iterate trace blocks in place, so the pointer aliases shared backing
+// storage (a cached trace buffer) and a mutation would corrupt every
+// later replay of the same trace.
 type Observer interface {
 	// Inst is called for every instruction with its global index.
 	Inst(i uint64, inst *trace.Inst)
@@ -59,6 +64,9 @@ type Collector struct {
 	SliceLen uint64
 	Slices   []*SliceStats
 	cur      *SliceStats
+	// end is the first instruction index past cur's slice; comparing
+	// against it replaces a per-instruction division in Inst.
+	end uint64
 }
 
 // NewCollector returns a Collector with the given slice length.
@@ -71,14 +79,33 @@ func NewCollector(sliceLen uint64) *Collector {
 
 // Inst implements Observer.
 func (c *Collector) Inst(i uint64, inst *trace.Inst) {
-	if c.cur == nil || i/c.SliceLen != uint64(c.cur.Index) {
-		c.cur = &SliceStats{
-			Index:     int(i / c.SliceLen),
-			PerBranch: make(map[uint64]*BranchStats),
-		}
-		c.Slices = append(c.Slices, c.cur)
+	if c.cur == nil || i >= c.end || i < c.end-c.SliceLen {
+		c.setSlice(i / c.SliceLen)
 	}
 	c.cur.Insts++
+}
+
+// setSlice makes the slice with the given index current: the last
+// slice (the sequential append case), an existing entry (continuing a
+// collector after Merge), or a new entry inserted in sorted position.
+func (c *Collector) setSlice(idx uint64) {
+	n := len(c.Slices)
+	pos := n
+	if n > 0 && uint64(c.Slices[n-1].Index) >= idx {
+		pos = sort.Search(n, func(k int) bool { return uint64(c.Slices[k].Index) >= idx })
+	}
+	if pos < n && uint64(c.Slices[pos].Index) == idx {
+		c.cur = c.Slices[pos]
+	} else {
+		c.cur = &SliceStats{
+			Index:     int(idx),
+			PerBranch: make(map[uint64]*BranchStats),
+		}
+		c.Slices = append(c.Slices, nil)
+		copy(c.Slices[pos+1:], c.Slices[pos:])
+		c.Slices[pos] = c.cur
+	}
+	c.end = (idx + 1) * c.SliceLen
 }
 
 // Branch implements Observer.
@@ -98,6 +125,55 @@ func (c *Collector) Branch(i uint64, inst *trace.Inst, pred bool) {
 		s.Mispreds++
 		b.Mispreds++
 	}
+}
+
+// Merge folds other's slices into c, combining slices that share an
+// index by summing their counters. Both collectors must have been fed
+// global instruction indices (core.ObserveFrom for shard replays) and
+// use the same slice length.
+//
+// Merging is exact: per-slice counters are order-independent sums, so
+// splitting one trace across workers at any boundaries and merging the
+// shard collectors in any grouping yields byte-identical statistics to
+// a single sequential pass. other must not be used afterwards (its
+// per-branch maps are adopted, not copied).
+func (c *Collector) Merge(other *Collector) {
+	if other.SliceLen != c.SliceLen {
+		panic("core: merging collectors with different slice lengths")
+	}
+	merged := make([]*SliceStats, 0, len(c.Slices)+len(other.Slices))
+	i, j := 0, 0
+	for i < len(c.Slices) || j < len(other.Slices) {
+		switch {
+		case j >= len(other.Slices) || (i < len(c.Slices) && c.Slices[i].Index < other.Slices[j].Index):
+			merged = append(merged, c.Slices[i])
+			i++
+		case i >= len(c.Slices) || other.Slices[j].Index < c.Slices[i].Index:
+			merged = append(merged, other.Slices[j])
+			j++
+		default: // same slice index observed by both shards
+			a, b := c.Slices[i], other.Slices[j]
+			a.Insts += b.Insts
+			a.CondExecs += b.CondExecs
+			a.Mispreds += b.Mispreds
+			for ip, bb := range b.PerBranch {
+				t := a.PerBranch[ip]
+				if t == nil {
+					a.PerBranch[ip] = bb
+					continue
+				}
+				t.Execs += bb.Execs
+				t.Mispreds += bb.Mispreds
+			}
+			merged = append(merged, a)
+			i++
+			j++
+		}
+	}
+	c.Slices = merged
+	// Invalidate the append cursor: the next Inst re-resolves its slice
+	// (reusing the merged entry if its index is already present).
+	c.cur = nil
 }
 
 // Totals sums per-branch counters over all slices.
@@ -200,41 +276,53 @@ type targetTrainer interface {
 
 // Run drives the stream through the predictor (the CBP-style measurement
 // loop: predict at fetch, train at retire, observe all control flow) and
-// fans events out to the observers. Runs with no observers — the
+// fans events out to the observers. The loop iterates the trace in
+// blocks (zero-copy when the stream serves them natively, e.g. any
+// Buffer replay), so the per-instruction cost is the predictor and the
+// observers, not stream dispatch. Runs with no observers — the
 // pure-MPKI sweeps — take a specialized loop with no fan-out work.
 func Run(s trace.Stream, p bp.Predictor, obs ...Observer) RunStats {
+	return RunBlocks(trace.AsBlocks(s, trace.DefaultBlockLen), p, obs...)
+}
+
+// RunBlocks is Run over an explicit block stream. Callers that already
+// hold a BlockStream (or need to control the block size, e.g. the
+// equivalence tests) use it directly; Run is RunBlocks over AsBlocks.
+func RunBlocks(bs trace.BlockStream, p bp.Predictor, obs ...Observer) RunStats {
 	tt, _ := p.(targetTrainer)
 	bo, _ := p.(bp.BranchObserver)
 	if len(obs) == 0 {
-		return runNoObservers(s, p, tt, bo)
+		return runNoObservers(bs, p, tt, bo)
 	}
 	var st RunStats
-	var inst trace.Inst
 	var i uint64
-	for s.Next(&inst) {
-		for _, o := range obs {
-			o.Inst(i, &inst)
-		}
-		if inst.Kind == trace.KindCondBr {
-			st.CondExecs++
-			pred := p.Predict(inst.IP)
-			if pred != inst.Taken {
-				st.Mispreds++
-			}
-			if tt != nil {
-				tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
-			} else {
-				p.Train(inst.IP, inst.Taken, pred)
-			}
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		for j := range blk {
+			inst := &blk[j]
 			for _, o := range obs {
-				o.Branch(i, &inst, pred)
+				o.Inst(i, inst)
 			}
-		} else if inst.Kind.IsBranch() {
-			if bo != nil {
-				bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+			if inst.Kind == trace.KindCondBr {
+				st.CondExecs++
+				pred := p.Predict(inst.IP)
+				if pred != inst.Taken {
+					st.Mispreds++
+				}
+				if tt != nil {
+					tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
+				} else {
+					p.Train(inst.IP, inst.Taken, pred)
+				}
+				for _, o := range obs {
+					o.Branch(i, inst, pred)
+				}
+			} else if inst.Kind.IsBranch() {
+				if bo != nil {
+					bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+				}
 			}
+			i++
 		}
-		i++
 	}
 	st.Insts = i
 	return st
@@ -249,49 +337,73 @@ func Run(s trace.Stream, p bp.Predictor, obs ...Observer) RunStats {
 // receive the resolved direction as the prediction (never counted as a
 // misprediction).
 func Observe(s trace.Stream, obs ...Observer) RunStats {
+	return ObserveFrom(s, 0, obs...)
+}
+
+// ObserveFrom is Observe with observers numbered from a base global
+// index: instruction k of the stream is reported as base+k. It is the
+// shard replay entry point — index-keyed observers (slice collectors,
+// BBV windows, recurrence trackers) over a slice-aligned range of a
+// long trace see the same indices they would in a whole-trace pass, so
+// per-shard results Merge back exactly. The returned stats count only
+// this stream's instructions.
+func ObserveFrom(s trace.Stream, base uint64, obs ...Observer) RunStats {
+	return observeBlocks(trace.AsBlocks(s, trace.DefaultBlockLen), base, obs...)
+}
+
+// ObserveBlocks is Observe over an explicit block stream.
+func ObserveBlocks(bs trace.BlockStream, obs ...Observer) RunStats {
+	return observeBlocks(bs, 0, obs...)
+}
+
+func observeBlocks(bs trace.BlockStream, base uint64, obs ...Observer) RunStats {
 	var st RunStats
-	var inst trace.Inst
-	var i uint64
-	for s.Next(&inst) {
-		for _, o := range obs {
-			o.Inst(i, &inst)
-		}
-		if inst.Kind == trace.KindCondBr {
-			st.CondExecs++
+	i := base
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		for j := range blk {
+			inst := &blk[j]
 			for _, o := range obs {
-				o.Branch(i, &inst, inst.Taken)
+				o.Inst(i, inst)
 			}
+			if inst.Kind == trace.KindCondBr {
+				st.CondExecs++
+				for _, o := range obs {
+					o.Branch(i, inst, inst.Taken)
+				}
+			}
+			i++
 		}
-		i++
 	}
-	st.Insts = i
+	st.Insts = i - base
 	return st
 }
 
 // runNoObservers is Run's fast path for pure-MPKI measurement: identical
 // prediction/training semantics, no observer fan-out in the loop body.
-func runNoObservers(s trace.Stream, p bp.Predictor, tt targetTrainer, bo bp.BranchObserver) RunStats {
+func runNoObservers(bs trace.BlockStream, p bp.Predictor, tt targetTrainer, bo bp.BranchObserver) RunStats {
 	var st RunStats
-	var inst trace.Inst
 	var i uint64
-	for s.Next(&inst) {
-		if inst.Kind == trace.KindCondBr {
-			st.CondExecs++
-			pred := p.Predict(inst.IP)
-			if pred != inst.Taken {
-				st.Mispreds++
-			}
-			if tt != nil {
-				tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
-			} else {
-				p.Train(inst.IP, inst.Taken, pred)
-			}
-		} else if inst.Kind.IsBranch() {
-			if bo != nil {
-				bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		for j := range blk {
+			inst := &blk[j]
+			if inst.Kind == trace.KindCondBr {
+				st.CondExecs++
+				pred := p.Predict(inst.IP)
+				if pred != inst.Taken {
+					st.Mispreds++
+				}
+				if tt != nil {
+					tt.TrainWithTarget(inst.IP, inst.Target, inst.Taken, pred)
+				} else {
+					p.Train(inst.IP, inst.Taken, pred)
+				}
+			} else if inst.Kind.IsBranch() {
+				if bo != nil {
+					bo.ObserveBranch(inst.IP, inst.Target, inst.Kind, inst.Taken)
+				}
 			}
 		}
-		i++
+		i += uint64(len(blk))
 	}
 	st.Insts = i
 	return st

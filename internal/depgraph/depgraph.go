@@ -130,6 +130,37 @@ func (a *Analyzer) Inst(_ uint64, inst *trace.Inst) {
 // Branch implements the observer contract.
 func (a *Analyzer) Branch(uint64, *trace.Inst, bool) {}
 
+// Merge folds other's per-target results into a. The supported
+// sharding is by target set: several analyzers replay the same trace,
+// each analyzing a disjoint subset of the targets, and merge to
+// exactly the state one analyzer over the union would hold (per-target
+// state never interacts across targets). Time-sharding a trace is not
+// supported — the backward window, register/memory writer maps and the
+// per-target MaxSamples cutoff all carry state across any split point.
+// Overlapping targets merge deterministically by summing counts.
+// other must not be used afterwards (its maps are adopted).
+func (a *Analyzer) Merge(other *Analyzer) {
+	for ip, ost := range other.targets {
+		st := a.targets[ip]
+		if st == nil {
+			a.targets[ip] = ost
+			continue
+		}
+		st.execs += ost.execs
+		st.analyzed += ost.analyzed
+		for dep, m := range ost.positions {
+			t := st.positions[dep]
+			if t == nil {
+				st.positions[dep] = m
+				continue
+			}
+			for pos, c := range m {
+				t[pos] += c
+			}
+		}
+	}
+}
+
 // analyze walks the window backwards from the target execution, expands
 // the dataflow closure of the target's source values, and records every
 // conditional branch that reads a closure value at its history position

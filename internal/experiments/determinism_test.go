@@ -78,13 +78,18 @@ func TestCacheRunAllByteIdenticalAndRecordsOnce(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
 		workers int
+		shards  int
 	}{
-		{"cache/workers=1", 1},
-		{"cache/parallel", parallelWorkers()},
+		{"cache/workers=1", 1, 0},
+		{"cache/parallel", parallelWorkers(), 0},
+		// Sharded recording must leave every artifact byte untouched:
+		// the recordings it produces are byte-identical to sequential.
+		{"cache/parallel/recshards", parallelWorkers(), 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cached := cfg
 			cached.Workers = tc.workers
+			cached.RecordShards = tc.shards
 			cached.Cache = tracecache.New(0)
 			if got := runAll(cached); got != want {
 				t.Errorf("cached artifacts differ from uncached (workers=%d)", tc.workers)

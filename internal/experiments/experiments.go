@@ -31,6 +31,17 @@ type Config struct {
 	MaxInputs  int    // cap on application inputs per workload
 	Workers    int    // engine workers per experiment (0 = NumCPU)
 
+	// RecordShards, when > 1, records each trace by generating disjoint
+	// instruction ranges on up to that many engine workers
+	// (program.RecordSharded; each recording's worker count is capped
+	// by Workers). Sharded recording is byte-identical to sequential
+	// recording, so artifacts are unaffected in every mode. Note the
+	// worker budgets multiply: drivers recording several traces
+	// concurrently run up to Workers x min(Workers, RecordShards)
+	// generation goroutines, so the knob pays off on hosts with spare
+	// cores relative to the per-cell parallelism.
+	RecordShards int
+
 	// Cache, when non-nil, is the shared trace cache: every driver
 	// records (workload, input) traces through it, so one `-run all`
 	// invocation synthesizes each trace once instead of once per driver.
@@ -44,9 +55,13 @@ func (c Config) Pool() *engine.Pool { return engine.New(c.Workers) }
 // RecordTrace materializes one workload input's trace at the configured
 // budget, through the shared cache when one is configured. All drivers
 // record through this so concurrent work units requesting the same trace
-// coalesce onto a single recording.
+// coalesce onto a single recording. With RecordShards > 1 the recording
+// itself runs sharded across engine workers (byte-identical output).
 func (c Config) RecordTrace(s *workload.Spec, input int) *trace.Buffer {
 	return c.Cache.Record(s.Name, input, c.Budget, func() *trace.Buffer {
+		if c.RecordShards > 1 {
+			return s.RecordSharded(input, c.Budget, c.Pool(), c.RecordShards)
+		}
 		return s.Record(input, c.Budget)
 	})
 }
@@ -125,6 +140,41 @@ func recordSuite(cfg Config, pool *engine.Pool, specs []*workload.Spec) map[stri
 		out[s.Name] = bufs[i]
 	}
 	return out
+}
+
+// observeSliced replays a recorded trace through predictor-free
+// observers split at slice boundaries across pool workers, merging the
+// shard observers in trace order. mk builds one observer per shard;
+// merge folds src (the later shard) into dst. Splitting at slice
+// boundaries with global indices (core.ObserveFrom) makes exact-merge
+// observers — BBV collectors, slice collectors — byte-identical to a
+// sequential core.Observe pass at any worker count, which is what lets
+// one long trace's analysis use every worker instead of one.
+func observeSliced[O core.Observer](cfg Config, pool *engine.Pool, tr *trace.Buffer, mk func() O, merge func(dst, src O)) O {
+	sliceLen := int(cfg.SliceLen)
+	nSlices := (tr.Len() + sliceLen - 1) / sliceLen
+	shards := pool.Workers()
+	if shards > nSlices {
+		shards = nSlices
+	}
+	if shards <= 1 {
+		o := mk()
+		core.Observe(tr.Stream(), o)
+		return o
+	}
+	per := (nSlices + shards - 1) / shards
+	parts := engine.Map(pool, shards, func(w int) O {
+		lo := w * per * sliceLen
+		hi := lo + per*sliceLen
+		o := mk()
+		core.ObserveFrom(tr.Slice(lo, hi).Stream(), uint64(lo), o)
+		return o
+	})
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		merge(acc, p)
+	}
+	return acc
 }
 
 // branchTotal pairs a static branch IP with its whole-run counters.

@@ -48,11 +48,22 @@ func Table1(cfg Config) *report.Artifact {
 		col    *core.Collector
 		phases int
 	}
-	cells := engine.MapSlice(cfg.Pool(), keys, func(k t1Key, _ int) t1Cell {
+	// The BBV pass shards each trace at slice boundaries: the shard
+	// collectors merge to the exact sequential vector sequence, so
+	// phase counts are unchanged at any worker count. The worker
+	// budget is divided between the two levels — when the per-cell
+	// sweep already fills the pool, the inner pass runs sequentially
+	// instead of nesting another full pool per in-flight cell.
+	pool := cfg.Pool()
+	innerPool := engine.New(max(1, pool.Workers()/max(1, len(keys))))
+	cells := engine.MapSlice(pool, keys, func(k t1Key, _ int) t1Cell {
 		tr := cfg.RecordTrace(specs[k.bench], k.input)
 		rep, col := screenBranches(cfg, specs[k.bench], k.input, tr)
-		bbv := simpoint.NewBBVCollector(cfg.SliceLen, simpoint.DefaultDim)
-		core.Observe(tr.Stream(), bbv)
+		bbv := observeSliced(cfg, innerPool, tr,
+			func() *simpoint.BBVCollector {
+				return simpoint.NewBBVCollector(cfg.SliceLen, simpoint.DefaultDim)
+			},
+			(*simpoint.BBVCollector).Merge)
 		c := t1Cell{
 			rep:    rep,
 			phases: simpoint.ChooseK(bbv.Vectors(), 20, 1).K,

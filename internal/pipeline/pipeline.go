@@ -222,7 +222,14 @@ func execLatency(kind trace.Kind) uint64 {
 }
 
 // Run simulates the stream to completion and returns timing results.
+// The stream is consumed in blocks (zero-copy for Buffer replays), the
+// same batching discipline as core.Run.
 func (c *Core) Run(s trace.Stream, opt Options) Result {
+	return c.RunBlocks(trace.AsBlocks(s, trace.DefaultBlockLen), opt)
+}
+
+// RunBlocks is Run over an explicit block stream.
+func (c *Core) RunBlocks(bs trace.BlockStream, opt Options) Result {
 	cfg := c.cfg
 	var res Result
 
@@ -271,8 +278,17 @@ func (c *Core) Run(s trace.Stream, opt Options) Result {
 		opt.Predictor.Train(ip, taken, pred)
 	}
 
-	var inst trace.Inst
-	for s.Next(&inst) {
+	blk := bs.NextBlock()
+	j := 0
+	for {
+		if j >= len(blk) {
+			if blk = bs.NextBlock(); len(blk) == 0 {
+				break
+			}
+			j = 0
+		}
+		inst := &blk[j]
+		j++
 		res.Insts++
 
 		// --- Fetch ---------------------------------------------------

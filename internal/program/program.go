@@ -15,6 +15,7 @@ package program
 import (
 	"sync"
 
+	"branchlab/internal/engine"
 	"branchlab/internal/trace"
 	"branchlab/internal/xrand"
 )
@@ -52,6 +53,15 @@ type Emitter struct {
 	out    chan []trace.Inst
 	cancel chan struct{}
 
+	// Sharded-recording mode (see RecordSharded): instructions with
+	// index < skip are generated but not materialized, instructions in
+	// [skip, stopAt) append to direct, and reaching stopAt unwinds the
+	// payload. stopAt == 0 disables early stop; direct == nil selects
+	// the batching channel path.
+	skip   uint64
+	stopAt uint64
+	direct []trace.Inst
+
 	scratch uint8 // rotating scratch register for filler code
 }
 
@@ -80,10 +90,19 @@ func (e *Emitter) emit(inst trace.Inst) {
 	if e.emitted >= e.budget {
 		return
 	}
+	if e.emitted >= e.skip {
+		if e.direct != nil {
+			e.direct = append(e.direct, inst)
+		} else {
+			e.batch = append(e.batch, inst)
+			if len(e.batch) >= batchSize {
+				e.flush()
+			}
+		}
+	}
 	e.emitted++
-	e.batch = append(e.batch, inst)
-	if len(e.batch) >= batchSize {
-		e.flush()
+	if e.stopAt != 0 && e.emitted >= e.stopAt {
+		panic(stopSignal{})
 	}
 }
 
@@ -318,6 +337,24 @@ func (s *Stream) Next(inst *trace.Inst) bool {
 	return true
 }
 
+// NextBlock implements trace.BlockStream: it hands the producer's
+// batches to the consumer directly, so a block-based replay of a live
+// generator copies no instructions at all.
+func (s *Stream) NextBlock() []trace.Inst {
+	if s.idx < len(s.cur) {
+		blk := s.cur[s.idx:]
+		s.idx = len(s.cur)
+		return blk
+	}
+	batch, ok := <-s.out
+	if !ok {
+		return nil
+	}
+	s.cur = batch
+	s.idx = len(batch)
+	return batch
+}
+
 // Close implements trace.Closer: it releases the producer goroutine.
 func (s *Stream) Close() error {
 	s.once.Do(func() {
@@ -337,4 +374,92 @@ func Record(seed, budget uint64, payload Payload) *trace.Buffer {
 	s := Run(seed, budget, payload)
 	defer s.Close()
 	return trace.RecordSized(s, budget)
+}
+
+// recordRange generates instructions [lo, hi) of the (seed, budget,
+// payload) trace synchronously — no producer goroutine, no channel —
+// appending them to dst and returning the result. The payload replays
+// from the start with a freshly reseeded RNG (every shard derives the
+// identical xrand stream from the trace seed), skims the prefix without
+// materializing it, and unwinds as soon as the range is full.
+func recordRange(seed, budget uint64, payload Payload, lo, hi uint64, dst []trace.Inst) []trace.Inst {
+	e := &Emitter{
+		rng:    xrand.New(seed),
+		budget: budget,
+		baseIP: 0x400000,
+		curIP:  0x400000,
+		skip:   lo,
+		stopAt: hi,
+		direct: dst,
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopSignal); !ok {
+					panic(r)
+				}
+			}
+		}()
+		payload(e)
+	}()
+	return e.direct
+}
+
+// RecordSharded materializes the same trace Record produces by
+// generating disjoint instruction ranges on pool workers. Worker w
+// replays the payload deterministically from the trace seed, skims
+// instructions before its range (generated, counted, not stored),
+// writes its range directly into the shared backing array, and stops.
+// The assembled buffer is byte-identical to sequential recording at any
+// shard count: payloads are pure functions of the seed, so every
+// replica emits the identical instruction sequence.
+//
+// Sharding trades total generation work for wall-clock and allocation
+// traffic: shard w regenerates the w/shards prefix it discards, but the
+// materialization path (batch copies, channel handoff, buffer growth)
+// runs once per instruction across all workers and the shards record
+// concurrently. See DESIGN.md §6 for why prefix replay — rather than
+// per-slice generator reseeding — is what keeps the recording
+// byte-identical for arbitrary payloads.
+func RecordSharded(seed, budget uint64, payload Payload, pool *engine.Pool, shards int) *trace.Buffer {
+	if pool == nil {
+		pool = engine.New(0)
+	}
+	if uint64(shards) > budget {
+		shards = int(budget)
+	}
+	if shards <= 1 {
+		return Record(seed, budget, payload)
+	}
+	chunk := (budget + uint64(shards) - 1) / uint64(shards)
+	insts := make([]trace.Inst, budget)
+	counts := engine.Map(pool, shards, func(w int) int {
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if hi > budget {
+			hi = budget
+		}
+		if lo >= hi {
+			return 0
+		}
+		// Each worker appends into its own zero-length, capacity-capped
+		// window of the shared array, so writes stay disjoint.
+		return len(recordRange(seed, budget, payload, lo, hi, insts[lo:lo:hi]))
+	})
+	// A payload that returns before exhausting the budget ends every
+	// shard at the same deterministic point; the first short shard is
+	// the end of the trace.
+	total := uint64(0)
+	for w, n := range counts {
+		total += uint64(n)
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if hi > budget {
+			hi = budget
+		}
+		if uint64(n) < hi-lo {
+			break
+		}
+	}
+	return trace.FromSlice(insts[:total])
 }

@@ -28,6 +28,9 @@ type BBVCollector struct {
 	vectors  [][]float64
 	cur      []float64
 	curIdx   int
+	// end is the first instruction index past the current slice;
+	// comparing against it replaces a per-instruction division.
+	end uint64
 }
 
 // NewBBVCollector returns a collector with the given slice length and
@@ -44,11 +47,11 @@ func NewBBVCollector(sliceLen uint64, dim int) *BBVCollector {
 
 // Inst implements the observer contract.
 func (c *BBVCollector) Inst(i uint64, inst *trace.Inst) {
-	idx := int(i / c.SliceLen)
-	if c.cur == nil || idx != c.curIdx {
+	if c.cur == nil || i >= c.end || i < c.end-c.SliceLen {
 		c.flush()
 		c.cur = make([]float64, c.Dim)
-		c.curIdx = idx
+		c.curIdx = int(i / c.SliceLen)
+		c.end = (uint64(c.curIdx) + 1) * c.SliceLen
 	}
 	if inst.Kind != trace.KindCondBr {
 		return
@@ -92,6 +95,21 @@ func (c *BBVCollector) flush() {
 func (c *BBVCollector) Vectors() [][]float64 {
 	c.flush()
 	return c.vectors
+}
+
+// Merge appends other's slice vectors after c's. When a trace is split
+// at SliceLen boundaries across workers — each shard observed with its
+// global instruction indices (core.ObserveFrom) — every slice lands
+// wholly in one shard, so merging the shard collectors in trace order
+// reproduces exactly the vector sequence of a sequential whole-trace
+// pass. other must not be used afterwards.
+func (c *BBVCollector) Merge(other *BBVCollector) {
+	if other.SliceLen != c.SliceLen || other.Dim != c.Dim {
+		panic("simpoint: merging BBV collectors with different geometry")
+	}
+	c.flush()
+	other.flush()
+	c.vectors = append(c.vectors, other.vectors...)
 }
 
 // KMeansResult holds one clustering outcome.
@@ -263,11 +281,13 @@ func ChooseK(vectors [][]float64, maxK int, seed uint64) KMeansResult {
 // instrument.
 func Phases(s trace.Stream, sliceLen uint64, maxK int) KMeansResult {
 	col := NewBBVCollector(sliceLen, DefaultDim)
-	var inst trace.Inst
+	bs := trace.AsBlocks(s, trace.DefaultBlockLen)
 	var i uint64
-	for s.Next(&inst) {
-		col.Inst(i, &inst)
-		i++
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		for j := range blk {
+			col.Inst(i, &blk[j])
+			i++
+		}
 	}
 	return ChooseK(col.Vectors(), maxK, 12345)
 }

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Merging a never-overflowed right-hand reservoir replays its full
+// observation sequence, so the merged state is bit-identical to one
+// reservoir seeing the whole stream — even when the left side
+// overflows during the fold.
+func TestReservoirMergeExactWhenRightUnderCap(t *testing.T) {
+	const k = 16
+	stream := make([]uint64, 40)
+	for i := range stream {
+		stream[i] = uint64(i * 7)
+	}
+	for _, cut := range []int{0, 5, 24, 30} {
+		right := stream[cut:]
+		if len(right) > k {
+			continue // right side would overflow; not the exact regime
+		}
+		want := NewReservoir(k, 99)
+		for _, v := range stream {
+			want.Add(v)
+		}
+		a := NewReservoir(k, 99)
+		for _, v := range stream[:cut] {
+			a.Add(v)
+		}
+		b := NewReservoir(k, 12345) // right seed is irrelevant under cap
+		for _, v := range right {
+			b.Add(v)
+		}
+		a.Merge(b)
+		if a.N != want.N || !reflect.DeepEqual(a.Sample, want.Sample) {
+			t.Fatalf("cut %d: merged reservoir differs: %+v != %+v", cut, a, want)
+		}
+	}
+}
+
+// An overflowed right side degrades to a deterministic subsample with
+// the full observation count preserved.
+func TestReservoirMergeOverflowedRight(t *testing.T) {
+	const k = 8
+	mk := func() (*Reservoir, *Reservoir) {
+		a := NewReservoir(k, 1)
+		for v := uint64(0); v < 10; v++ {
+			a.Add(v)
+		}
+		b := NewReservoir(k, 2)
+		for v := uint64(100); v < 130; v++ {
+			b.Add(v)
+		}
+		return a, b
+	}
+	a1, b1 := mk()
+	a1.Merge(b1)
+	if a1.N != 40 {
+		t.Fatalf("merged N = %d, want 40", a1.N)
+	}
+	if len(a1.Sample) != k {
+		t.Fatalf("merged sample size %d, want %d", len(a1.Sample), k)
+	}
+	a2, b2 := mk()
+	a2.Merge(b2)
+	if !reflect.DeepEqual(a1.Sample, a2.Sample) {
+		t.Fatal("overflowed merge is not deterministic")
+	}
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// drainBlocks enumerates bs into a flat slice.
+func drainBlocks(bs BlockStream) []Inst {
+	var out []Inst
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		out = append(out, blk...)
+	}
+	return out
+}
+
+// drainStream enumerates s via Next.
+func drainStream(s Stream) []Inst {
+	var out []Inst
+	var inst Inst
+	for s.Next(&inst) {
+		out = append(out, inst)
+	}
+	return out
+}
+
+func bufferOf(insts []Inst) *Buffer {
+	b := NewBuffer(len(insts))
+	for _, inst := range insts {
+		b.Append(inst)
+	}
+	return b
+}
+
+func sameInsts(t *testing.T, got, want []Inst, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d instructions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: instruction %d differs: %+v != %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// Any block size must enumerate exactly the per-instruction sequence,
+// including sizes that do not divide the trace length and sizes larger
+// than the trace.
+func TestBlocksAdapterMatchesStream(t *testing.T) {
+	insts := synthetic(1000)
+	b := bufferOf(insts)
+	for _, n := range []int{1, 3, 7, 256, 1000, 5000} {
+		got := drainBlocks(Blocks(b.Stream(), n))
+		sameInsts(t, got, insts, "adapter")
+	}
+	// n <= 0 selects the default block length.
+	sameInsts(t, drainBlocks(Blocks(b.Stream(), 0)), insts, "default size")
+}
+
+func TestBufferServesNativeZeroCopyBlocks(t *testing.T) {
+	insts := synthetic(100)
+	b := bufferOf(insts)
+	s := b.Stream()
+	bs, ok := s.(BlockStream)
+	if !ok {
+		t.Fatal("Buffer.Stream should serve blocks natively")
+	}
+	if AsBlocks(s, 8) != bs {
+		t.Error("AsBlocks should return the native block stream, not wrap it")
+	}
+	blk := bs.NextBlock()
+	if len(blk) != 100 {
+		t.Fatalf("expected the whole buffer in one block, got %d", len(blk))
+	}
+	if &blk[0] != &b.insts[0] {
+		t.Error("native block is not a zero-copy view of the buffer")
+	}
+	// Prefix views serve blocks of the same backing array.
+	pblk := b.Prefix(10).Stream().(BlockStream).NextBlock()
+	if len(pblk) != 10 || &pblk[0] != &b.insts[0] {
+		t.Error("prefix block is not a zero-copy view of the parent")
+	}
+}
+
+func TestBufferBlockStreamSizes(t *testing.T) {
+	insts := synthetic(100)
+	b := bufferOf(insts)
+	bs := b.BlockStream(32)
+	var sizes []int
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		sizes = append(sizes, len(blk))
+	}
+	want := []int{32, 32, 32, 4}
+	if len(sizes) != len(want) {
+		t.Fatalf("block sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("block sizes %v, want %v", sizes, want)
+		}
+	}
+	sameInsts(t, drainBlocks(b.BlockStream(32)), insts, "sized blocks")
+}
+
+// Mixing Next and NextBlock on one reader walks a single cursor.
+func TestBufferStreamMixedIteration(t *testing.T) {
+	insts := synthetic(50)
+	s := bufferOf(insts).Stream()
+	var first Inst
+	if !s.Next(&first) || first != insts[0] {
+		t.Fatal("Next failed")
+	}
+	blk := s.(BlockStream).NextBlock()
+	sameInsts(t, blk, insts[1:], "tail block after Next")
+}
+
+func TestSliceView(t *testing.T) {
+	insts := synthetic(100)
+	b := bufferOf(insts)
+	sameInsts(t, drainStream(b.Slice(10, 40).Stream()), insts[10:40], "slice")
+	if b.Slice(-5, 1000).Len() != 100 {
+		t.Error("Slice should clamp out-of-range bounds")
+	}
+	if b.Slice(60, 40).Len() != 0 {
+		t.Error("inverted bounds should yield an empty view")
+	}
+	if b.Slice(0, -2).Len() != 0 || b.Slice(-9, -2).Len() != 0 {
+		t.Error("negative hi should clamp to an empty view, not panic")
+	}
+	// Appending to the view must not corrupt the parent.
+	v := b.Slice(0, 10)
+	v.Append(Inst{IP: 0xdead})
+	if b.At(10) == (Inst{IP: 0xdead}) {
+		t.Error("append to slice view leaked into parent")
+	}
+}
+
+// closeSpy is a plain stream recording Close calls.
+type closeSpy struct {
+	s      Stream
+	closed int
+	err    error
+}
+
+func (c *closeSpy) Next(inst *Inst) bool { return c.s.Next(inst) }
+func (c *closeSpy) Close() error         { c.closed++; return c.err }
+
+// blockCloseSpy additionally serves blocks natively.
+type blockCloseSpy struct {
+	closeSpy
+	bs BlockStream
+}
+
+func (c *blockCloseSpy) NextBlock() []Inst { return c.bs.NextBlock() }
+
+// Limit used to re-wrap streams in a FuncStream, silently dropping the
+// underlying Closer — CloseStream on the wrapper leaked the program
+// generator's goroutine. It must forward Close now, on both the plain
+// and the block-native path.
+func TestLimitPropagatesClose(t *testing.T) {
+	b := bufferOf(synthetic(100))
+	plain := &closeSpy{s: FuncStream(b.Stream().Next)}
+	if err := CloseStream(Limit(plain, 10)); err != nil || plain.closed != 1 {
+		t.Errorf("plain Limit did not forward Close: closed=%d err=%v", plain.closed, err)
+	}
+	inner := b.Stream()
+	native := &blockCloseSpy{closeSpy: closeSpy{s: inner}, bs: inner.(BlockStream)}
+	if err := CloseStream(Limit(native, 10)); err != nil || native.closed != 1 {
+		t.Errorf("block Limit did not forward Close: closed=%d err=%v", native.closed, err)
+	}
+	wantErr := errors.New("boom")
+	failing := &closeSpy{s: FuncStream(b.Stream().Next), err: wantErr}
+	if err := CloseStream(Limit(failing, 10)); !errors.Is(err, wantErr) {
+		t.Errorf("Limit swallowed the Close error: %v", err)
+	}
+}
+
+func TestLimitBlocks(t *testing.T) {
+	insts := synthetic(100)
+	b := bufferOf(insts)
+	// Block-native limit, cut mid-block.
+	l := Limit(b.Stream(), 37)
+	if _, ok := l.(BlockStream); !ok {
+		t.Fatal("Limit over a block-native stream should serve blocks")
+	}
+	sameInsts(t, drainBlocks(l.(BlockStream)), insts[:37], "limited blocks")
+	// Per-instruction iteration agrees.
+	sameInsts(t, drainStream(Limit(b.Stream(), 37)), insts[:37], "limited stream")
+	// Limit beyond the end yields the whole trace.
+	sameInsts(t, drainBlocks(Limit(b.Stream(), 1000).(BlockStream)), insts, "over-limit")
+}
+
+func TestConcatPropagatesClose(t *testing.T) {
+	b := bufferOf(synthetic(30))
+	spies := []*closeSpy{
+		{s: FuncStream(b.Stream().Next)},
+		{s: FuncStream(b.Stream().Next), err: errors.New("first")},
+		{s: FuncStream(b.Stream().Next), err: errors.New("second")},
+	}
+	c := Concat(spies[0], spies[1], spies[2])
+	// Drain the first substream only, then close.
+	var inst Inst
+	for i := 0; i < 35; i++ {
+		c.Next(&inst)
+	}
+	err := CloseStream(c)
+	for i, sp := range spies {
+		if sp.closed != 1 {
+			t.Errorf("substream %d closed %d times, want 1", i, sp.closed)
+		}
+	}
+	if err == nil || err.Error() != "first" {
+		t.Errorf("Concat should return the first Close error, got %v", err)
+	}
+}
+
+func TestConcatBlocks(t *testing.T) {
+	a, b := synthetic(85), synthetic(40)
+	c := Concat(bufferOf(a).Stream(), bufferOf(b).Stream())
+	bs, ok := c.(BlockStream)
+	if !ok {
+		t.Fatal("Concat should serve blocks")
+	}
+	sameInsts(t, drainBlocks(bs), append(append([]Inst{}, a...), b...), "concat blocks")
+}
+
+func TestEmptyStreamsYieldNoBlocks(t *testing.T) {
+	if blk := bufferOf(nil).Stream().(BlockStream).NextBlock(); len(blk) != 0 {
+		t.Error("empty buffer produced a block")
+	}
+	if blk := Blocks(bufferOf(nil).Stream(), 16).NextBlock(); len(blk) != 0 {
+		t.Error("adapter over empty stream produced a block")
+	}
+	if blk := Concat().(BlockStream).NextBlock(); len(blk) != 0 {
+		t.Error("empty concat produced a block")
+	}
+}

@@ -101,6 +101,72 @@ type Stream interface {
 	Next(inst *Inst) bool
 }
 
+// BlockStream is a forward-only producer of instruction batches, the
+// replay hot path: iterating a []Inst block amortizes the per-call
+// interface dispatch of Stream.Next over thousands of instructions.
+//
+// NextBlock returns the next run of instructions in trace order, or an
+// empty slice at end of trace (after which further calls must also
+// return an empty slice). The returned slice is valid only until the
+// next NextBlock call, and callers must not modify or retain it: block
+// producers serve zero-copy views of shared backing storage (a cached
+// Buffer, a generator batch).
+type BlockStream interface {
+	NextBlock() []Inst
+}
+
+// DefaultBlockLen is the block size the measurement loops use when
+// adapting a plain Stream to block iteration. Large enough to amortize
+// the per-block dispatch to nothing, small enough that an adapter's
+// scratch block stays cache-resident.
+const DefaultBlockLen = 4096
+
+// blockAdapter batches a plain Stream into blocks of at most cap(buf)
+// instructions through an owned scratch buffer.
+type blockAdapter struct {
+	s   Stream
+	buf []Inst
+}
+
+// NextBlock implements BlockStream.
+func (a *blockAdapter) NextBlock() []Inst {
+	buf := a.buf[:0]
+	for len(buf) < cap(buf) {
+		var inst Inst
+		if !a.s.Next(&inst) {
+			break
+		}
+		buf = append(buf, inst)
+	}
+	return buf
+}
+
+// Close implements Closer by forwarding to the underlying stream.
+func (a *blockAdapter) Close() error { return CloseStream(a.s) }
+
+// Blocks adapts s to block iteration with blocks of at most n
+// instructions (DefaultBlockLen if n <= 0). The adapter copies through
+// a scratch buffer; block-native producers (Buffer streams, program
+// generators) are better consumed via AsBlocks, which serves their
+// storage zero-copy.
+func Blocks(s Stream, n int) BlockStream {
+	if n <= 0 {
+		n = DefaultBlockLen
+	}
+	return &blockAdapter{s: s, buf: make([]Inst, 0, n)}
+}
+
+// AsBlocks returns s's native block serving when it has one, and
+// Blocks(s, n) otherwise. The measurement loops call this once per run,
+// so a Buffer replay iterates the recorded array directly with no
+// per-instruction virtual calls or copies.
+func AsBlocks(s Stream, n int) BlockStream {
+	if bs, ok := s.(BlockStream); ok {
+		return bs
+	}
+	return Blocks(s, n)
+}
+
 // Closer is implemented by streams that hold resources (files, generator
 // goroutines). Callers that receive a Stream should close it if it
 // implements Closer.
@@ -122,43 +188,129 @@ type FuncStream func(*Inst) bool
 // Next implements Stream.
 func (f FuncStream) Next(inst *Inst) bool { return f(inst) }
 
-// Limit returns a stream that yields at most n instructions from s.
-func Limit(s Stream, n uint64) Stream {
-	remaining := n
-	return FuncStream(func(inst *Inst) bool {
-		if remaining == 0 {
-			return false
-		}
-		if !s.Next(inst) {
-			remaining = 0
-			return false
-		}
-		remaining--
-		return true
-	})
+// limitStream yields at most remaining instructions from s and
+// forwards Close to it, so limiting a resource-holding stream (e.g. a
+// program generator) does not leak its resources.
+type limitStream struct {
+	s         Stream
+	remaining uint64
 }
 
-// Concat returns a stream that yields all instructions of each stream in
-// turn.
-func Concat(streams ...Stream) Stream {
-	idx := 0
-	return FuncStream(func(inst *Inst) bool {
-		for idx < len(streams) {
-			if streams[idx].Next(inst) {
-				return true
-			}
-			idx++
-		}
+// Next implements Stream.
+func (l *limitStream) Next(inst *Inst) bool {
+	if l.remaining == 0 {
 		return false
-	})
+	}
+	if !l.s.Next(inst) {
+		l.remaining = 0
+		return false
+	}
+	l.remaining--
+	return true
+}
+
+// Close implements Closer by forwarding to the underlying stream.
+func (l *limitStream) Close() error { return CloseStream(l.s) }
+
+// limitBlockStream is limitStream over a block-native underlying
+// stream: blocks are served zero-copy and truncated at the limit.
+type limitBlockStream struct {
+	*limitStream
+	bs BlockStream
+}
+
+// NextBlock implements BlockStream. It may read ahead of the limit by
+// up to one block from the underlying stream; the overshoot is
+// discarded (Limit owns the remainder of the stream either way).
+func (l *limitBlockStream) NextBlock() []Inst {
+	if l.remaining == 0 {
+		return nil
+	}
+	blk := l.bs.NextBlock()
+	if len(blk) == 0 {
+		l.remaining = 0
+		return nil
+	}
+	if uint64(len(blk)) > l.remaining {
+		blk = blk[:l.remaining]
+	}
+	l.remaining -= uint64(len(blk))
+	return blk
+}
+
+// Limit returns a stream that yields at most n instructions from s.
+// The result forwards Close to s, and serves blocks natively when s
+// does.
+func Limit(s Stream, n uint64) Stream {
+	l := &limitStream{s: s, remaining: n}
+	if bs, ok := s.(BlockStream); ok {
+		return &limitBlockStream{limitStream: l, bs: bs}
+	}
+	return l
+}
+
+// concatStream yields all instructions of each stream in turn. Closing
+// it closes every underlying stream (including already-drained ones:
+// Close on a drained stream is the producer's no-op).
+type concatStream struct {
+	streams []Stream
+	idx     int
+	cur     BlockStream // block view of streams[idx], built lazily
+}
+
+// Next implements Stream.
+func (c *concatStream) Next(inst *Inst) bool {
+	for c.idx < len(c.streams) {
+		if c.streams[c.idx].Next(inst) {
+			return true
+		}
+		c.idx++
+		c.cur = nil
+	}
+	return false
+}
+
+// NextBlock implements BlockStream, delegating to each substream's
+// native block serving where available.
+func (c *concatStream) NextBlock() []Inst {
+	for c.idx < len(c.streams) {
+		if c.cur == nil {
+			c.cur = AsBlocks(c.streams[c.idx], DefaultBlockLen)
+		}
+		if blk := c.cur.NextBlock(); len(blk) > 0 {
+			return blk
+		}
+		c.idx++
+		c.cur = nil
+	}
+	return nil
+}
+
+// Close implements Closer: it closes every underlying stream and
+// returns the first error.
+func (c *concatStream) Close() error {
+	var first error
+	for _, s := range c.streams {
+		if err := CloseStream(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Concat returns a stream that yields all instructions of each stream
+// in turn. The result forwards Close to every underlying stream and
+// serves blocks natively.
+func Concat(streams ...Stream) Stream {
+	return &concatStream{streams: streams}
 }
 
 // Count drains s and returns the number of instructions it produced.
 func Count(s Stream) uint64 {
-	var inst Inst
+	bs := AsBlocks(s, DefaultBlockLen)
 	var n uint64
-	for s.Next(&inst) {
-		n++
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		n += uint64(len(blk))
 	}
 	return n
 }
@@ -216,17 +368,81 @@ func (b *Buffer) Len() int { return len(b.insts) }
 // At returns the i-th instruction.
 func (b *Buffer) At(i int) Inst { return b.insts[i] }
 
-// Stream returns a new independent reader over the buffer.
+// FromSlice returns a Buffer that takes ownership of insts. It is the
+// zero-copy assembly point for sharded recording, whose workers fill
+// disjoint ranges of one backing array.
+func FromSlice(insts []Inst) *Buffer {
+	return &Buffer{insts: insts}
+}
+
+// bufferStream reads a buffer's backing array. It serves both the
+// per-instruction Stream contract and zero-copy blocks: NextBlock
+// returns subslices of the recorded array directly, so a buffer replay
+// has no per-instruction virtual calls and no copies.
+type bufferStream struct {
+	insts []Inst
+	pos   int
+	block int
+}
+
+// Next implements Stream.
+func (s *bufferStream) Next(inst *Inst) bool {
+	if s.pos >= len(s.insts) {
+		return false
+	}
+	*inst = s.insts[s.pos]
+	s.pos++
+	return true
+}
+
+// NextBlock implements BlockStream.
+func (s *bufferStream) NextBlock() []Inst {
+	if s.pos >= len(s.insts) {
+		return nil
+	}
+	end := s.pos + s.block
+	if end > len(s.insts) {
+		end = len(s.insts)
+	}
+	blk := s.insts[s.pos:end]
+	s.pos = end
+	return blk
+}
+
+// Stream returns a new independent reader over the buffer. The reader
+// serves blocks natively (zero-copy views of the recorded array).
 func (b *Buffer) Stream() Stream {
-	i := 0
-	return FuncStream(func(inst *Inst) bool {
-		if i >= len(b.insts) {
-			return false
-		}
-		*inst = b.insts[i]
-		i++
-		return true
-	})
+	return &bufferStream{insts: b.insts, block: DefaultBlockLen}
+}
+
+// BlockStream returns a new independent block reader over the buffer
+// with blocks of at most n instructions (DefaultBlockLen if n <= 0).
+// Blocks are zero-copy views of the recorded array.
+func (b *Buffer) BlockStream(n int) BlockStream {
+	if n <= 0 {
+		n = DefaultBlockLen
+	}
+	return &bufferStream{insts: b.insts, block: n}
+}
+
+// Slice returns a zero-copy view of instructions [lo, hi) (clamped to
+// the buffer). Like Prefix, the view shares the backing array with its
+// capacity capped, so appends cannot corrupt the parent. Replaying
+// slice-aligned ranges is how one trace splits across engine workers.
+func (b *Buffer) Slice(lo, hi int) *Buffer {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi > len(b.insts) {
+		hi = len(b.insts)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Buffer{insts: b.insts[lo:hi:hi]}
 }
 
 // Prefix returns a zero-copy view of the buffer's first n instructions

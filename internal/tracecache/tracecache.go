@@ -12,6 +12,14 @@
 //     buffer's budget is served a zero-copy prefix view of that buffer
 //     (trace.Buffer.Prefix), never a re-recording.
 //
+// Served buffers replay through the block pipeline: Buffer streams
+// serve zero-copy instruction blocks (trace.BlockStream), so a cache
+// hit costs the lock and LRU touch and nothing per instruction. The
+// record callback may itself be a sharded recording
+// (program.RecordSharded) — the cache is agnostic to how the bytes
+// were produced because sharded and sequential recordings are
+// byte-identical.
+//
 // Prefix serving is a truncation of the longer recording — the first b
 // instructions of the same program run — not a re-synthesis at the
 // smaller budget. Generators may scale static structure with the budget

@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 
+	"branchlab/internal/engine"
 	"branchlab/internal/program"
 	"branchlab/internal/trace"
 	"branchlab/internal/xrand"
@@ -66,6 +67,13 @@ func (s *Spec) Stream(input int, budget uint64) trace.Stream {
 // Record materializes the trace for one input.
 func (s *Spec) Record(input int, budget uint64) *trace.Buffer {
 	return program.Record(s.seed(input), budget, s.Payload(input))
+}
+
+// RecordSharded materializes the same trace Record produces, generating
+// disjoint instruction ranges on pool workers (program.RecordSharded).
+// The result is byte-identical to Record at any shard count.
+func (s *Spec) RecordSharded(input int, budget uint64, pool *engine.Pool, shards int) *trace.Buffer {
+	return program.RecordSharded(s.seed(input), budget, s.Payload(input), pool, shards)
 }
 
 // SPECint2017Like returns the nine-benchmark suite modeled on Table I

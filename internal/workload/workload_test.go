@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"branchlab/internal/core"
+	"branchlab/internal/engine"
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
 )
@@ -55,6 +56,28 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	for i := 0; i < a.Len(); i++ {
 		if a.At(i) != b.At(i) {
 			t.Fatalf("instruction %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRecordShardedByteIdentical(t *testing.T) {
+	pool := engine.New(4)
+	for _, name := range []string{"605.mcf_s", "game"} {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s not found", name)
+		}
+		want := s.Record(0, 120_000)
+		for _, shards := range []int{2, 5} {
+			got := s.RecordSharded(0, 120_000, pool, shards)
+			if got.Len() != want.Len() {
+				t.Fatalf("%s shards=%d: length %d, want %d", name, shards, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.At(i) != want.At(i) {
+					t.Fatalf("%s shards=%d: instruction %d differs", name, shards, i)
+				}
+			}
 		}
 	}
 }

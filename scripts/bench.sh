@@ -1,25 +1,52 @@
 #!/usr/bin/env bash
-# bench.sh — run the PR2 hot-path benchmarks and emit BENCH_PR2.json.
+# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR3.json,
+# and diff the replay-loop benchmarks against the PR2 baseline so
+# regressions in the block pipeline fail loudly.
 #
-# The tracked benchmarks are the perf trajectory of the trace cache and
-# the core.Run loop optimization:
-#   BenchmarkRunAll/cache={off,on}   - full `-run all` registry, uncached vs cached
-#   BenchmarkCoreRun/observers={off,on} - replay loop fast path vs fan-out path
-#   BenchmarkTraceCacheHit           - cache serve-from-memory cost
+# Tracked benchmarks (the perf trajectory of the replay refactors):
+#   BenchmarkRunAll/cache={off,on}      - full `-run all` registry, uncached vs cached
+#   BenchmarkCoreRun/observers={off,on} - block replay loop, fast path vs fan-out
+#   BenchmarkCoreRun/perinst-reference  - pre-block per-instruction loop (baseline)
+#   BenchmarkTraceCacheHit              - cache serve-from-memory cost
+#   BenchmarkFig5Parallel/workers=N     - engine scaling (meaningful on multi-core hosts)
+#   BenchmarkRecordSharded/shards=N     - sharded deterministic trace recording
+#
+# Two regression checks run after the benchmarks:
+#   1. Intra-run gate (host-independent): the block replay loop
+#      (CoreRun/observers=off) is compared against the pre-block
+#      per-instruction reference compiled into the same binary and run
+#      on the same host (CoreRun/perinst-reference). A ratio above
+#      BLOCK_MAX fails the script — the loud failure for replay-loop
+#      regressions, meaningful on any machine. Enforced when both
+#      samples averaged >= 3 iterations (BENCHTIME >= 3x); a
+#      single-iteration sample only reports.
+#   2. Cross-run diff vs the committed BENCH_PR2.json baseline:
+#      printed for trend tracking; it only FAILS when BASELINE_GATE=1,
+#      because absolute ns/op from a different host (e.g. a CI runner
+#      vs the machine that recorded the baseline) cannot gate
+#      correctly. Set BASELINE_GATE=1 when re-measuring on the
+#      baseline's host.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=1x scripts/bench.sh        # CI smoke (one iteration each)
-#   BENCHTIME=5s scripts/bench.sh        # stable numbers for doc updates
+#   BENCHTIME=1x scripts/bench.sh            # CI smoke (one iteration each)
+#   BENCHTIME=5s scripts/bench.sh            # stable numbers for doc updates
+#   BLOCK_MAX=1.5 scripts/bench.sh           # loosen the intra-run gate
+#   BASELINE_GATE=1 REGRESSION_MAX=1.3 ...   # enforce the baseline diff
+#   BASELINE=/dev/null scripts/bench.sh      # skip the baseline diff
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-1s}"
+baseline="${BASELINE:-BENCH_PR2.json}"
+regmax="${REGRESSION_MAX:-1.30}"
+blockmax="${BLOCK_MAX:-1.25}"
+basegate="${BASELINE_GATE:-0}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$' \
+  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
   -benchtime "$benchtime" . | tee "$raw" >&2
 
 awk -v benchtime="$benchtime" '
@@ -36,3 +63,58 @@ awk -v benchtime="$benchtime" '
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2
+
+# --- regression checks -------------------------------------------------
+parse() { sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.e+]*\).*/\1 \2/p' "$1"; }
+
+# 1. Intra-run gate: block replay vs the per-instruction reference in
+# the same binary on the same host. Host-independent; enforced only
+# when both samples averaged >= 3 iterations — a single-iteration
+# sample (BENCHTIME=1x) is one scheduler blip away from a false alarm,
+# so it reports instead of failing.
+parseiters() { sed -n 's/.*"name": "'"$2"'", "iterations": \([0-9]*\),.*/\1/p' "$1"; }
+block_ns="$(parse "$out" | awk '$1 == "BenchmarkCoreRun/observers=off" { print $2 }')"
+ref_ns="$(parse "$out" | awk '$1 == "BenchmarkCoreRun/perinst-reference" { print $2 }')"
+block_it="$(parseiters "$out" 'BenchmarkCoreRun\/observers=off')"
+ref_it="$(parseiters "$out" 'BenchmarkCoreRun\/perinst-reference')"
+if [ -n "$block_ns" ] && [ -n "$ref_ns" ]; then
+  ratio="$(awk -v a="$block_ns" -v b="$ref_ns" 'BEGIN { printf "%.3f", a/b }')"
+  echo "block replay vs per-instruction reference (same run): ${ratio}x (gate ${blockmax}x)" >&2
+  if [ "${block_it:-0}" -lt 3 ] || [ "${ref_it:-0}" -lt 3 ]; then
+    echo "  (single-sample timings — gate reported, not enforced; use BENCHTIME>=3x to enforce)" >&2
+  elif [ "$(awk -v r="$ratio" -v m="$blockmax" 'BEGIN { print (r > m) ? 1 : 0 }')" = 1 ]; then
+    echo "bench.sh: block replay loop is ${ratio}x the per-instruction reference (max ${blockmax}x) — replay-loop regression" >&2
+    exit 1
+  fi
+fi
+
+# 2. Cross-run diff vs the committed baseline (RunAll, CoreRun; the
+# other benchmarks are new in this PR or sub-microsecond). Printed for
+# trend tracking; enforced only with BASELINE_GATE=1 since absolute
+# ns/op only compare on the host that recorded the baseline.
+if [ -f "$baseline" ]; then
+  status=0
+  echo "diff vs $baseline (informational unless BASELINE_GATE=1; max ${regmax}x):" >&2
+  while read -r name ns; do
+    case "$name" in
+      BenchmarkRunAll/*|BenchmarkCoreRun/observers=*) ;;
+      *) continue ;;
+    esac
+    base_ns="$(parse "$baseline" | awk -v n="$name" '$1 == n { print $2 }')"
+    [ -z "$base_ns" ] && continue
+    ratio="$(awk -v a="$ns" -v b="$base_ns" 'BEGIN { printf "%.3f", a/b }')"
+    flag=ok
+    if [ "$(awk -v r="$ratio" -v m="$regmax" 'BEGIN { print (r > m) ? 1 : 0 }')" = 1 ]; then
+      flag=REGRESSION
+      status=1
+    fi
+    printf '  %-36s %14.0f -> %14.0f ns/op  %sx %s\n' \
+      "$name" "$base_ns" "$ns" "$ratio" "$flag" >&2
+  done <<EOF
+$(parse "$out")
+EOF
+  if [ "$status" -ne 0 ] && [ "$basegate" = 1 ]; then
+    echo "bench.sh: replay-loop regression exceeds ${regmax}x vs $baseline" >&2
+    exit 1
+  fi
+fi
