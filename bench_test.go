@@ -199,7 +199,8 @@ func BenchmarkRecordSharded(b *testing.B) {
 }
 
 // BenchmarkTraceCacheHit measures the cache's serve-from-memory cost
-// (lock, LRU touch, prefix view) against the recording it avoids.
+// (lock, header lookup, view construction) against the recording it
+// avoids.
 func BenchmarkTraceCacheHit(b *testing.B) {
 	spec, _ := branchlab.Workload("605.mcf_s")
 	cache := branchlab.NewTraceCache(0)
@@ -207,6 +208,45 @@ func BenchmarkTraceCacheHit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		branchlab.RecordTraceCached(cache, spec, 0, 500_000)
+	}
+}
+
+// BenchmarkTraceCacheSlicedReplay measures a full replay through the
+// slice-granular cache in its two regimes: resident (unbounded cap —
+// the slice pin cost over zero-copy block serving, the common case) and
+// evicted (a cap of one slice, so every slice re-materializes through
+// the deterministic skim path — the worst case the LRU converts misses
+// into). The resident/evicted ratio is the price of a cap miss; the
+// resident number must track BenchmarkCoreRun/observers=off, since a
+// resident replay is the same block loop plus one pin per slice. The
+// evicted run reports peak accounted residency, which must stay below
+// one whole-trace footprint (the memory bound slice eviction exists to
+// provide).
+func BenchmarkTraceCacheSlicedReplay(b *testing.B) {
+	const budget = 500_000
+	const sliceInsts = 1 << 16
+	spec, _ := branchlab.Workload("605.mcf_s")
+	for _, tc := range []struct {
+		name string
+		cap  int64
+	}{
+		{"resident", 0},
+		{"evicted", sliceInsts * 40}, // one slice's bytes (Inst is 40B)
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cache := branchlab.NewSlicedTraceCache(tc.cap, sliceInsts)
+			tr := branchlab.RecordTraceCached(cache, spec, 0, budget)
+			b.SetBytes(budget)
+			b.ResetTimer()
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				branchlab.Run(tr.Stream(), branchlab.NewTAGESCL(8))
+				if st := cache.Stats(); st.BytesInUse > peak {
+					peak = st.BytesInUse
+				}
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peak-resident-MiB")
+		})
 	}
 }
 

@@ -53,6 +53,10 @@ type (
 	BlockStream = trace.BlockStream
 	// Buffer is a materialized, replayable trace.
 	Buffer = trace.Buffer
+	// Replayable is a materialized trace servable any number of times:
+	// a *Buffer, or a trace-cache view that re-materializes evicted
+	// slices on demand. Replays are always byte-identical.
+	Replayable = trace.Replayable
 	// Kind classifies instructions.
 	Kind = trace.Kind
 )
@@ -177,25 +181,42 @@ func RecordTraceSharded(spec *WorkloadSpec, input int, budget uint64, pool *Engi
 
 // TraceCache is a content-keyed, concurrency-safe cache of recorded
 // traces: concurrent requests for one (workload, input) coalesce onto a
-// single recording, smaller budgets are served as zero-copy prefix views
-// of larger recordings, and memory is bounded by LRU eviction. Share one
-// cache across drivers (via ExperimentConfig.Cache or RecordTraceCached)
-// to synthesize each trace once per process.
+// single recording, smaller budgets are served as zero-copy prefix
+// views of larger recordings, and memory is bounded by slice-granular
+// LRU eviction — cold fixed-size slices of a trace evict independently
+// and re-materialize deterministically on their next use, so the
+// memory bound is the union of live slices rather than whole traces.
+// Share one cache across drivers (via ExperimentConfig.Cache or
+// RecordTraceCached) to synthesize each trace once per process.
 type TraceCache = tracecache.Cache
 
-// TraceCacheStats are a cache's hit/miss/eviction counters.
+// TraceCacheStats are a cache's hit/miss/eviction counters, including
+// the per-slice hit/re-record/evict breakdown.
 type TraceCacheStats = tracecache.Stats
 
 // NewTraceCache returns a trace cache holding at most maxBytes of
-// recorded instructions (<= 0 means unbounded).
+// recorded instructions (<= 0 means unbounded) at the default slice
+// granularity (tracecache.DefaultSliceInsts).
 func NewTraceCache(maxBytes int64) *TraceCache { return tracecache.New(maxBytes) }
+
+// NewSlicedTraceCache is NewTraceCache with an explicit slice
+// granularity in instructions (0 = whole-trace eviction).
+func NewSlicedTraceCache(maxBytes int64, sliceInsts uint64) *TraceCache {
+	return tracecache.NewSliced(maxBytes, sliceInsts)
+}
 
 // RecordTraceCached is RecordTrace through a shared cache: it records on
 // the first request for (spec, input) and serves replayable views from
-// memory afterwards. A nil cache degrades to RecordTrace.
-func RecordTraceCached(c *TraceCache, spec *WorkloadSpec, input int, budget uint64) *Buffer {
-	return c.Record(spec.Name, input, budget, func() *Buffer {
-		return spec.Record(input, budget)
+// memory afterwards, re-materializing any slice the cache cap evicted
+// (byte-identically) on demand. A nil cache degrades to RecordTrace.
+func RecordTraceCached(c *TraceCache, spec *WorkloadSpec, input int, budget uint64) Replayable {
+	return c.Record(spec.Name, input, budget, tracecache.Source{
+		Record: func(sliceLen uint64) [][]Inst {
+			return spec.RecordSlices(input, budget, sliceLen, nil, 1)
+		},
+		Range: func(lo, hi uint64) []Inst {
+			return spec.RecordRange(input, budget, lo, hi)
+		},
 	})
 }
 

@@ -7,6 +7,7 @@
 //	bpsim -workload 605.mcf_s -predictor tage-sc-l-8 -budget 2000000
 //	bpsim -workload game -predictor tage-sc-l-64 -pipeline 4
 //	bpsim -workload game -pipeline 1,4,16 -parallel 3
+//	bpsim -workload game -pipeline 1,4,16 -tracecache 64 -cacheslice 65536
 //	bpsim -workload game -budget 8000000 -recshards 4
 //	bpsim -trace trace.blt -predictor gshare
 //	bpsim -list
@@ -44,11 +45,17 @@ func main() {
 		pipeScales   = flag.String("pipeline", "", "pipeline scale(s), comma-separated (empty = accuracy only)")
 		parallel     = flag.Int("parallel", 0, "engine workers for the pipeline sweep (0 = NumCPU)")
 		recShards    = flag.Int("recshards", 0, "record the workload trace on this many workers (<= 1 = sequential; byte-identical)")
+		cacheMB      = flag.Int64("tracecache", 0, "trace cache cap in MiB for multi-scale sweeps (0 = unbounded; evicted slices re-record byte-identically)")
+		cacheSlice   = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
+		cacheStats   = tracecache.StatsFlag(nil)
 		list         = flag.Bool("list", false, "list workloads and predictors")
 		top          = flag.Int("top", 0, "print the top-N mispredicting branches")
 	)
 	flag.Parse()
 	topN = *top
+	cacheCap = *cacheMB << 20
+	cacheSliceInsts = *cacheSlice
+	printCacheStats = *cacheStats
 
 	if *list {
 		fmt.Println("workloads (specint2017):")
@@ -95,7 +102,12 @@ func parseScales(s string) ([]int, error) {
 	return out, nil
 }
 
-var topN int
+var (
+	topN            int
+	cacheCap        int64
+	cacheSliceInsts uint64
+	printCacheStats bool
+)
 
 func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScales []int, parallel, recShards int) error {
 	pred, err := zoo.New(predName)
@@ -104,14 +116,17 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 	}
 
 	// Multi-scale workload sweeps record the trace once through the
-	// cache and replay the buffer for the accuracy pass and every
-	// pipeline scale; -recshards opts the recording itself into sharded
+	// cache and replay it for the accuracy pass and every pipeline
+	// scale; -recshards opts the recording itself into sharded
 	// generation (byte-identical, so it also forces materialization).
+	// The cache is slice-granular: with a -tracecache cap the sweep's
+	// memory is bounded by the live slices, and any evicted slice
+	// re-records deterministically when a replay reaches it.
 	// Accuracy-only and single-scale runs otherwise stream at O(1)
 	// memory (the budget can be arbitrarily large), as do trace files.
 	var cache *tracecache.Cache
 	if traceFile == "" && (len(pipeScales) > 1 || recShards > 1) {
-		cache = tracecache.New(0)
+		cache = tracecache.NewSliced(cacheCap, cacheSliceInsts)
 	}
 	open := func() (trace.Stream, func(), error) {
 		if traceFile != "" {
@@ -129,13 +144,15 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 			s := spec.Stream(input, budget)
 			return s, func() { trace.CloseStream(s) }, nil
 		}
-		buf := cache.Record(spec.Name, input, budget, func() *trace.Buffer {
-			if recShards > 1 {
-				return spec.RecordSharded(input, budget, engine.New(parallel), recShards)
-			}
-			return spec.Record(input, budget)
+		tr := cache.Record(spec.Name, input, budget, tracecache.Source{
+			Record: func(sliceLen uint64) [][]trace.Inst {
+				return spec.RecordSlices(input, budget, sliceLen, engine.New(parallel), recShards)
+			},
+			Range: func(lo, hi uint64) []trace.Inst {
+				return spec.RecordRange(input, budget, lo, hi)
+			},
 		})
-		return buf.Stream(), func() {}, nil
+		return tr.Stream(), func() {}, nil
 	}
 
 	s, cleanup, err := open()
@@ -229,8 +246,8 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 				scale, res.IPC, res.MPKI, res.L1DMissPKI)
 		}
 	}
-	if cache != nil {
-		fmt.Fprintf(os.Stderr, "[trace cache: %s]\n", cache.Stats())
+	if printCacheStats {
+		tracecache.WriteStats(os.Stderr, cache)
 	}
 	return nil
 }

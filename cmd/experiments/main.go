@@ -17,10 +17,15 @@
 //
 // Workload traces are recorded once per (workload, input) through a
 // shared in-memory cache and replayed by every experiment that needs
-// them; -tracecache bounds the cache in MiB (0 disables it). Cache
-// counters print to stderr, keeping stdout diff-able. -recshards N
-// records each trace on N workers (sharded deterministic recording);
-// output stays byte-identical in every combination of flags.
+// them; -tracecache bounds the cache in MiB (0 disables it) and
+// -cacheslice sets its eviction granularity in instructions: the cache
+// evicts cold fixed-size slices of a trace rather than whole
+// recordings, and an evicted slice re-records deterministically the
+// next time a replay reaches it, so a capped cache stays byte-identical
+// to an unbounded one. Cache counters print to stderr behind
+// -cachestats, keeping stdout diff-able. -recshards N records each
+// trace on N workers (sharded deterministic recording); output stays
+// byte-identical in every combination of flags.
 package main
 
 import (
@@ -42,7 +47,9 @@ func main() {
 		slice    = flag.Uint64("slice", 0, "override slice length")
 		parallel = flag.Int("parallel", 0, "engine workers per experiment (0 = NumCPU)")
 		cacheMB  = flag.Int64("tracecache", 4096, "shared trace cache size in MiB (-1 = unbounded, 0 = off)")
+		cacheSl  = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
 		shards   = flag.Int("recshards", 0, "record each trace on this many workers (<= 1 = sequential; output is byte-identical)")
+		stats    = tracecache.StatsFlag(nil)
 	)
 	flag.Parse()
 
@@ -65,12 +72,13 @@ func main() {
 	}
 	cfg.Workers = *parallel
 	cfg.RecordShards = *shards
+	cfg.CacheSlice = *cacheSl
 	if *cacheMB != 0 {
 		limit := *cacheMB << 20
 		if limit < 0 {
 			limit = 0 // unbounded
 		}
-		cfg.Cache = tracecache.New(limit)
+		cfg.Cache = cfg.NewCache(limit)
 	}
 
 	runners := experiments.All()
@@ -91,7 +99,7 @@ func main() {
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
-	if cfg.Cache != nil {
-		fmt.Fprint(os.Stderr, cfg.Cache.Stats().Table().String())
+	if *stats {
+		tracecache.WriteStats(os.Stderr, cfg.Cache)
 	}
 }

@@ -18,7 +18,7 @@ import (
 // with the other drivers screening the same trace) and returns the top
 // H2P by dynamic executions (0 if none). tr must be that trace; drivers
 // that need it afterwards pass the buffer they already hold.
-func topHeavyHitter(cfg Config, s *workload.Spec, tr *trace.Buffer) uint64 {
+func topHeavyHitter(cfg Config, s *workload.Spec, tr trace.Replayable) uint64 {
 	rep, _ := screenBranches(cfg, s, 0, tr)
 	hh := rep.HeavyHitters()
 	if len(hh) == 0 {
@@ -32,7 +32,7 @@ func topHeavyHitter(cfg Config, s *workload.Spec, tr *trace.Buffer) uint64 {
 // the same (workload, target) pairs. The analyzer consumes only
 // trace-visible operands (its Branch callback is a no-op), so the pass
 // is predictor-free. The returned analyzer is shared and read-only.
-func depAnalysis(cfg Config, s *workload.Spec, tr *trace.Buffer, target uint64) *depgraph.Analyzer {
+func depAnalysis(cfg Config, s *workload.Spec, tr trace.Replayable, target uint64) *depgraph.Analyzer {
 	key := fmt.Sprintf("depgraph/%s/0/%d/%d/%d/%#x",
 		s.Name, cfg.Budget, depgraph.DefaultWindow, 4000, target)
 	return cfg.Cache.Memo(key, func() any {

@@ -4,9 +4,14 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"unsafe"
 
+	"branchlab/internal/trace"
 	"branchlab/internal/tracecache"
 )
+
+// instBytes mirrors the cache's per-instruction accounting unit.
+const instBytes = int64(unsafe.Sizeof(trace.Inst{}))
 
 // The engine's contract is that a parallel run merges work-unit results
 // in submission order, so the rendered artifact of every experiment is
@@ -95,8 +100,8 @@ func TestCacheRunAllByteIdenticalAndRecordsOnce(t *testing.T) {
 				t.Errorf("cached artifacts differ from uncached (workers=%d)", tc.workers)
 			}
 			st := cached.Cache.Stats()
-			if st.Evictions != 0 {
-				t.Fatalf("unbounded cache evicted %d entries", st.Evictions)
+			if st.SliceEvictions != 0 {
+				t.Fatalf("unbounded cache evicted %d slices", st.SliceEvictions)
 			}
 			if st.Misses != uint64(st.Entries) {
 				t.Errorf("recorded %d traces for %d distinct (workload, input) keys: some trace was recorded more than once",
@@ -107,6 +112,61 @@ func TestCacheRunAllByteIdenticalAndRecordsOnce(t *testing.T) {
 			}
 			if st.MemoHits == 0 {
 				t.Error("memo served no repeat screenings/IPC cells; drivers are not memoizing derived results")
+			}
+		})
+	}
+}
+
+// Slice-granular eviction must also be byte-invisible: a cache capped
+// far below one trace's footprint, at a slice size that splits every
+// trace, serves every driver re-materialized slices — and the full
+// registry output must still match the uncached reference, with the
+// memoized derived results computed from those re-materialized inputs.
+func TestSliceEvictionRunAllByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := quickCfg()
+	cfg.Budget = 100_000
+	cfg.SliceLen = 50_000
+
+	runAll := func(cfg Config) string {
+		var b strings.Builder
+		for _, r := range All() {
+			b.WriteString(r.Run(cfg).String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	uncached := cfg
+	uncached.Workers = 1
+	want := runAll(uncached)
+
+	for _, tc := range []struct {
+		name       string
+		capInsts   int64 // cap in instructions' worth of slice bytes
+		sliceInsts uint64
+		workers    int
+	}{
+		{"cap=2slices/slice=25k", 50_000, 25_000, 1},
+		{"cap=1slice/slice=40k", 40_000, 40_000, 1},
+		{"cap=2slices/slice=25k/parallel", 50_000, 25_000, parallelWorkers()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			capped := cfg
+			capped.Workers = tc.workers
+			capped.CacheSlice = tc.sliceInsts
+			capped.Cache = tracecache.NewSliced(tc.capInsts*instBytes, tc.sliceInsts)
+			if got := runAll(capped); got != want {
+				t.Errorf("capped slice-cache artifacts differ from uncached reference")
+			}
+			st := capped.Cache.Stats()
+			if st.SliceEvictions == 0 || st.SliceRerecords == 0 {
+				t.Fatalf("cap forced no slice eviction/re-record (stats %+v); the regime under test did not engage", st)
+			}
+			if st.BytesInUse > st.CapBytes {
+				t.Errorf("resident bytes %d exceed cap %d", st.BytesInUse, st.CapBytes)
 			}
 		})
 	}

@@ -45,8 +45,25 @@ type Config struct {
 	// Cache, when non-nil, is the shared trace cache: every driver
 	// records (workload, input) traces through it, so one `-run all`
 	// invocation synthesizes each trace once instead of once per driver.
-	// nil disables caching; artifacts are byte-identical either way.
+	// The cache is slice-granular — its LRU cap evicts cold fixed-size
+	// slices of a trace rather than whole recordings, and evicted
+	// slices re-materialize deterministically on demand — so nil vs
+	// non-nil, any cap and any slice size are all byte-identical.
 	Cache *tracecache.Cache
+
+	// CacheSlice is the trace cache's slice granularity in instructions
+	// (0 = whole-trace entries, the pre-slice behaviour). Build Cache
+	// through NewCache so the configured geometry is the one the cache
+	// actually evicts and re-materializes at.
+	CacheSlice uint64
+}
+
+// NewCache constructs the shared trace cache for this configuration:
+// at most maxBytes of resident instruction data (<= 0 unbounded),
+// evicted and re-materialized at CacheSlice granularity. Callers assign
+// the result to Cache.
+func (c Config) NewCache(maxBytes int64) *tracecache.Cache {
+	return tracecache.NewSliced(maxBytes, c.CacheSlice)
 }
 
 // Pool returns the engine pool the experiment's work units run on.
@@ -57,12 +74,23 @@ func (c Config) Pool() *engine.Pool { return engine.New(c.Workers) }
 // record through this so concurrent work units requesting the same trace
 // coalesce onto a single recording. With RecordShards > 1 the recording
 // itself runs sharded across engine workers (byte-identical output).
-func (c Config) RecordTrace(s *workload.Spec, input int) *trace.Buffer {
-	return c.Cache.Record(s.Name, input, c.Budget, func() *trace.Buffer {
+// The returned trace replays identically whether it is a plain buffer
+// (nil cache) or a cache view re-materializing evicted slices on
+// demand (Spec.RecordRange, the reseed-and-skim path).
+func (c Config) RecordTrace(s *workload.Spec, input int) trace.Replayable {
+	if c.Cache == nil {
 		if c.RecordShards > 1 {
 			return s.RecordSharded(input, c.Budget, c.Pool(), c.RecordShards)
 		}
 		return s.Record(input, c.Budget)
+	}
+	return c.Cache.Record(s.Name, input, c.Budget, tracecache.Source{
+		Record: func(sliceLen uint64) [][]trace.Inst {
+			return s.RecordSlices(input, c.Budget, sliceLen, c.Pool(), c.RecordShards)
+		},
+		Range: func(lo, hi uint64) []trace.Inst {
+			return s.RecordRange(input, c.Budget, lo, hi)
+		},
 	})
 }
 
@@ -74,6 +102,7 @@ func Default() Config {
 		PipeScales: []int{1, 2, 4, 8, 16, 32},
 		StorageKB:  []int{8, 64, 128, 256, 512, 1024},
 		MaxInputs:  3,
+		CacheSlice: tracecache.DefaultSliceInsts,
 	}
 }
 
@@ -85,6 +114,7 @@ func Quick() Config {
 		PipeScales: []int{1, 4, 16},
 		StorageKB:  []int{8, 64, 1024},
 		MaxInputs:  2,
+		CacheSlice: tracecache.DefaultSliceInsts,
 	}
 }
 
@@ -131,11 +161,11 @@ func ByID(id string) (Runner, bool) {
 
 // recordSuite materializes one trace per workload (input 0), one engine
 // work unit per workload, through the configured trace cache.
-func recordSuite(cfg Config, pool *engine.Pool, specs []*workload.Spec) map[string]*trace.Buffer {
-	bufs := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) *trace.Buffer {
+func recordSuite(cfg Config, pool *engine.Pool, specs []*workload.Spec) map[string]trace.Replayable {
+	bufs := engine.MapSlice(pool, specs, func(s *workload.Spec, _ int) trace.Replayable {
 		return cfg.RecordTrace(s, 0)
 	})
-	out := make(map[string]*trace.Buffer, len(specs))
+	out := make(map[string]trace.Replayable, len(specs))
 	for i, s := range specs {
 		out[s.Name] = bufs[i]
 	}
@@ -150,7 +180,7 @@ func recordSuite(cfg Config, pool *engine.Pool, specs []*workload.Spec) map[stri
 // observers — BBV collectors, slice collectors — byte-identical to a
 // sequential core.Observe pass at any worker count, which is what lets
 // one long trace's analysis use every worker instead of one.
-func observeSliced[O core.Observer](cfg Config, pool *engine.Pool, tr *trace.Buffer, mk func() O, merge func(dst, src O)) O {
+func observeSliced[O core.Observer](cfg Config, pool *engine.Pool, tr trace.Replayable, mk func() O, merge func(dst, src O)) O {
 	sliceLen := int(cfg.SliceLen)
 	nSlices := (tr.Len() + sliceLen - 1) / sliceLen
 	shards := pool.Workers()
@@ -167,7 +197,7 @@ func observeSliced[O core.Observer](cfg Config, pool *engine.Pool, tr *trace.Buf
 		lo := w * per * sliceLen
 		hi := lo + per*sliceLen
 		o := mk()
-		core.ObserveFrom(tr.Slice(lo, hi).Stream(), uint64(lo), o)
+		core.ObserveFrom(tr.Range(lo, hi).Stream(), uint64(lo), o)
 		return o
 	})
 	acc := parts[0]
@@ -200,7 +230,7 @@ func sortedTotals(col *core.Collector) []branchTotal {
 
 // screenH2Ps runs TAGE-SC-L 8KB over a trace and returns the screened
 // H2P report plus the collector.
-func screenH2Ps(tr *trace.Buffer, sliceLen uint64) (*core.H2PReport, *core.Collector) {
+func screenH2Ps(tr trace.Replayable, sliceLen uint64) (*core.H2PReport, *core.Collector) {
 	col := core.NewCollector(sliceLen)
 	core.Run(tr.Stream(), tage.New(tage.Config8KB()), col)
 	rep := core.PaperCriteria().Scaled(sliceLen).Screen(col)
@@ -221,7 +251,7 @@ type screened struct {
 // the uncached path records exactly as often as before. The returned
 // report and collector are shared across drivers and must be treated as
 // read-only (all their methods are).
-func screenBranches(cfg Config, s *workload.Spec, input int, tr *trace.Buffer) (*core.H2PReport, *core.Collector) {
+func screenBranches(cfg Config, s *workload.Spec, input int, tr trace.Replayable) (*core.H2PReport, *core.Collector) {
 	key := fmt.Sprintf("h2p/%s/%d/%d/%d", s.Name, input, cfg.Budget, cfg.SliceLen)
 	v := cfg.Cache.Memo(key, func() any {
 		rep, col := screenH2Ps(tr, cfg.SliceLen)
@@ -231,7 +261,7 @@ func screenBranches(cfg Config, s *workload.Spec, input int, tr *trace.Buffer) (
 }
 
 // ipcRun times a trace on the pipeline at the given scale.
-func ipcRun(tr *trace.Buffer, scale int, opt pipeline.Options) pipeline.Result {
+func ipcRun(tr trace.Replayable, scale int, opt pipeline.Options) pipeline.Result {
 	return pipeline.New(pipeline.Skylake().Scaled(scale)).Run(tr.Stream(), opt)
 }
 
@@ -242,7 +272,7 @@ func ipcRun(tr *trace.Buffer, scale int, opt pipeline.Options) pipeline.Result {
 // cells. tr must be the workload's input-0 trace at the configured
 // budget. opt is invoked only on a miss — predictors are stateful, so
 // each computed cell constructs its own.
-func ipcCell(cfg Config, s *workload.Spec, tr *trace.Buffer, scale int, sig string, opt func() pipeline.Options) pipeline.Result {
+func ipcCell(cfg Config, s *workload.Spec, tr trace.Replayable, scale int, sig string, opt func() pipeline.Options) pipeline.Result {
 	key := fmt.Sprintf("ipc/%s/0/%d/%d/%s", s.Name, cfg.Budget, scale, sig)
 	return cfg.Cache.Memo(key, func() any {
 		return ipcRun(tr, scale, opt())

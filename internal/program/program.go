@@ -57,10 +57,16 @@ type Emitter struct {
 	// index < skip are generated but not materialized, instructions in
 	// [skip, stopAt) append to direct, and reaching stopAt unwinds the
 	// payload. stopAt == 0 disables early stop; direct == nil selects
-	// the batching channel path.
+	// the batching channel path. segs holds further pre-allocated
+	// capacity-capped windows (slice-granular recording): when direct
+	// fills to capacity it is retired to done and the next window takes
+	// over, so one prefix replay materializes many independently owned
+	// slice arrays.
 	skip   uint64
 	stopAt uint64
 	direct []trace.Inst
+	segs   [][]trace.Inst
+	done   [][]trace.Inst
 
 	scratch uint8 // rotating scratch register for filler code
 }
@@ -93,6 +99,11 @@ func (e *Emitter) emit(inst trace.Inst) {
 	if e.emitted >= e.skip {
 		if e.direct != nil {
 			e.direct = append(e.direct, inst)
+			if len(e.direct) == cap(e.direct) && len(e.segs) > 0 {
+				e.done = append(e.done, e.direct)
+				e.direct = e.segs[0]
+				e.segs = e.segs[1:]
+			}
 		} else {
 			e.batch = append(e.batch, inst)
 			if len(e.batch) >= batchSize {
@@ -376,13 +387,16 @@ func Record(seed, budget uint64, payload Payload) *trace.Buffer {
 	return trace.RecordSized(s, budget)
 }
 
-// recordRange generates instructions [lo, hi) of the (seed, budget,
+// recordSegments generates instructions [lo, hi) of the (seed, budget,
 // payload) trace synchronously — no producer goroutine, no channel —
-// appending them to dst and returning the result. The payload replays
+// filling the pre-allocated capacity-capped windows segs in order and
+// returning the windows that received instructions. The payload replays
 // from the start with a freshly reseeded RNG (every shard derives the
 // identical xrand stream from the trace seed), skims the prefix without
-// materializing it, and unwinds as soon as the range is full.
-func recordRange(seed, budget uint64, payload Payload, lo, hi uint64, dst []trace.Inst) []trace.Inst {
+// materializing it, and unwinds as soon as the range is full. The
+// window capacities must sum to at least hi-lo so no append ever
+// reallocates a window.
+func recordSegments(seed, budget uint64, payload Payload, lo, hi uint64, segs [][]trace.Inst) [][]trace.Inst {
 	e := &Emitter{
 		rng:    xrand.New(seed),
 		budget: budget,
@@ -390,7 +404,8 @@ func recordRange(seed, budget uint64, payload Payload, lo, hi uint64, dst []trac
 		curIP:  0x400000,
 		skip:   lo,
 		stopAt: hi,
-		direct: dst,
+		direct: segs[0],
+		segs:   segs[1:],
 	}
 	func() {
 		defer func() {
@@ -402,7 +417,30 @@ func recordRange(seed, budget uint64, payload Payload, lo, hi uint64, dst []trac
 		}()
 		payload(e)
 	}()
-	return e.direct
+	return append(e.done, e.direct)
+}
+
+// recordRange is recordSegments with a single destination window.
+func recordRange(seed, budget uint64, payload Payload, lo, hi uint64, dst []trace.Inst) []trace.Inst {
+	out := recordSegments(seed, budget, payload, lo, hi, [][]trace.Inst{dst})
+	return out[len(out)-1]
+}
+
+// RecordRange materializes instructions [lo, hi) of the (seed, budget,
+// payload) trace into a freshly allocated array: the slice-granular
+// trace cache's re-materialization path. The replay reseeds from the
+// trace seed and skims the prefix without materializing it, so the
+// returned range is byte-identical to the same range of a full
+// recording — at the cost of regenerating (not storing) the lo
+// instructions before the range.
+func RecordRange(seed, budget uint64, payload Payload, lo, hi uint64) []trace.Inst {
+	if hi > budget {
+		hi = budget
+	}
+	if lo >= hi {
+		return nil
+	}
+	return recordRange(seed, budget, payload, lo, hi, make([]trace.Inst, 0, hi-lo))
 }
 
 // RecordSharded materializes the same trace Record produces by
@@ -462,4 +500,88 @@ func RecordSharded(seed, budget uint64, payload Payload, pool *engine.Pool, shar
 		}
 	}
 	return trace.FromSlice(insts[:total])
+}
+
+// RecordSlices materializes the same trace Record produces as
+// consecutive, independently owned arrays of sliceLen instructions
+// each (the last may be shorter): the ingest path of the slice-granular
+// trace cache, which needs each slice to be individually evictable —
+// dropping one array frees its memory, which views of a shared backing
+// array (Buffer.Slice) cannot do. sliceLen == 0 or >= budget yields a
+// single array. With shards > 1 the generation splits across pool
+// workers at slice-aligned boundaries, each worker skimming its prefix
+// and filling its own slice arrays (no copies, no channel handoff).
+// The concatenated arrays are byte-identical to Record at any
+// (sliceLen, shards) combination: payloads are pure functions of the
+// seed.
+func RecordSlices(seed, budget uint64, payload Payload, sliceLen uint64, pool *engine.Pool, shards int) [][]trace.Inst {
+	if budget == 0 {
+		return nil
+	}
+	if sliceLen == 0 || sliceLen > budget {
+		sliceLen = budget
+	}
+	nSlices := int((budget + sliceLen - 1) / sliceLen)
+	// capOf is the exact capacity of slice si; windows never reallocate.
+	capOf := func(si int) uint64 {
+		lo := uint64(si) * sliceLen
+		hi := lo + sliceLen
+		if hi > budget {
+			hi = budget
+		}
+		return hi - lo
+	}
+	mkWindows := func(s0, s1 int) [][]trace.Inst {
+		ws := make([][]trace.Inst, 0, s1-s0)
+		for si := s0; si < s1; si++ {
+			ws = append(ws, make([]trace.Inst, 0, capOf(si)))
+		}
+		return ws
+	}
+
+	out := make([][]trace.Inst, nSlices)
+	if pool == nil {
+		pool = engine.New(0)
+	}
+	if shards > nSlices {
+		shards = nSlices
+	}
+	if shards <= 1 {
+		filled := recordSegments(seed, budget, payload, 0, budget, mkWindows(0, nSlices))
+		copy(out, filled)
+	} else {
+		// Shard boundaries align to slice boundaries so every window
+		// belongs to exactly one worker.
+		per := (nSlices + shards - 1) / shards
+		engine.Map(pool, shards, func(w int) int {
+			s0 := w * per
+			s1 := s0 + per
+			if s1 > nSlices {
+				s1 = nSlices
+			}
+			if s0 >= s1 {
+				return 0
+			}
+			lo := uint64(s0) * sliceLen
+			hi := uint64(s1) * sliceLen
+			if hi > budget {
+				hi = budget
+			}
+			filled := recordSegments(seed, budget, payload, lo, hi, mkWindows(s0, s1))
+			copy(out[s0:s1], filled)
+			return len(filled)
+		})
+	}
+	// A payload that returns before exhausting the budget ends every
+	// replica at the same deterministic point: the first short slice is
+	// the end of the trace, and everything after it is empty.
+	for si, sl := range out {
+		if uint64(len(sl)) < capOf(si) {
+			if len(sl) == 0 {
+				return out[:si]
+			}
+			return out[:si+1]
+		}
+	}
+	return out
 }

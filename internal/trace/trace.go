@@ -315,12 +315,34 @@ func Count(s Stream) uint64 {
 	return n
 }
 
+// Replayable is a materialized trace servable any number of times: the
+// contract between the trace cache and every measurement driver. A
+// *Buffer is the contiguous implementation; the slice-granular trace
+// cache serves a view that re-materializes evicted ranges on demand.
+// Replays of one Replayable are always byte-identical to each other —
+// implementations may differ in residency, never in content.
+type Replayable interface {
+	// Len returns the trace length in instructions.
+	Len() int
+	// Stream returns a new independent reader over the trace.
+	Stream() Stream
+	// BlockStream returns a new independent block reader with blocks of
+	// at most n instructions (an implementation-chosen size if n <= 0).
+	BlockStream(n int) BlockStream
+	// Range returns a zero-copy view of instructions [lo, hi), clamped
+	// to the trace. Replaying slice-aligned ranges is how one trace
+	// splits across engine workers.
+	Range(lo, hi int) Replayable
+}
+
 // Buffer is a materialized trace that can be replayed any number of times.
 // Replaying one buffer across predictor/pipeline configurations is how the
 // sweep experiments (Fig 1, Fig 5, Fig 7) hold the workload constant.
 type Buffer struct {
 	insts []Inst
 }
+
+var _ Replayable = (*Buffer)(nil)
 
 // NewBuffer returns an empty buffer with capacity hint n.
 func NewBuffer(n int) *Buffer {
@@ -444,6 +466,9 @@ func (b *Buffer) Slice(lo, hi int) *Buffer {
 	}
 	return &Buffer{insts: b.insts[lo:hi:hi]}
 }
+
+// Range implements Replayable via Slice.
+func (b *Buffer) Range(lo, hi int) Replayable { return b.Slice(lo, hi) }
 
 // Prefix returns a zero-copy view of the buffer's first n instructions
 // (the whole buffer when n >= Len). The view shares the parent's backing

@@ -9,16 +9,21 @@
 //   - Singleflight: concurrent requests for the same key block on one
 //     in-flight recording instead of each recording their own copy.
 //   - Prefix serving: a request whose budget is at most a cached
-//     buffer's budget is served a zero-copy prefix view of that buffer
-//     (trace.Buffer.Prefix), never a re-recording.
+//     trace's budget is served a zero-copy prefix view, never a
+//     re-recording.
 //
-// Served buffers replay through the block pipeline: Buffer streams
-// serve zero-copy instruction blocks (trace.BlockStream), so a cache
-// hit costs the lock and LRU touch and nothing per instruction. The
-// record callback may itself be a sharded recording
-// (program.RecordSharded) — the cache is agnostic to how the bytes
-// were produced because sharded and sequential recordings are
-// byte-identical.
+// Storage is slice-granular: a cached trace is a small header plus
+// fixed-size slice entries, each an independently owned (and therefore
+// independently evictable and garbage-collectable) instruction array.
+// Record returns a trace.Replayable view that serves zero-copy
+// instruction blocks from resident slices; the LRU memory cap evicts
+// cold slices, not whole recordings, so the cache's memory bound is the
+// union of the drivers' live slice working sets instead of N whole
+// traces. A request touching an evicted slice re-materializes exactly
+// that range under per-slice singleflight through the deterministic
+// skim path (Source.Range — reseed from the trace seed, regenerate the
+// prefix without storing it, fill only the missing window), so sharing
+// and eviction stay byte-invisible to every driver.
 //
 // Prefix serving is a truncation of the longer recording — the first b
 // instructions of the same program run — not a re-synthesis at the
@@ -28,15 +33,15 @@
 // budget, which keeps `-run all` output byte-identical to uncached runs
 // while recording each (workload, input, max-budget) trace exactly once.
 //
-// Memory is bounded by a configurable cap with LRU eviction; evicted
-// traces re-record on next use (deterministically, so results are
-// unaffected — only the hit/miss counters change). Counters are exposed
-// as report-friendly Stats for the CLIs to print to stderr.
+// Counters are exposed as report-friendly Stats for the CLIs to print
+// to stderr (WriteStats, behind the shared -cachestats flag).
 package tracecache
 
 import (
 	"container/list"
+	"flag"
 	"fmt"
+	"io"
 	"sync"
 	"unsafe"
 
@@ -47,6 +52,28 @@ import (
 // instBytes is the in-memory footprint of one recorded instruction.
 const instBytes = int64(unsafe.Sizeof(trace.Inst{}))
 
+// DefaultSliceInsts is the default slice granularity in instructions
+// (~10 MiB of records): large enough that per-slice bookkeeping and
+// re-record skims amortize to nothing, small enough that eviction
+// tracks a driver's slice-shaped working set instead of whole traces.
+const DefaultSliceInsts = 1 << 18
+
+// Source materializes one deterministic trace for the cache. Both
+// callbacks must derive from the same (generator, seed, budget) triple:
+// Range(lo, hi) must reproduce exactly the bytes Record put at [lo, hi).
+type Source struct {
+	// Record materializes the whole trace as consecutive, independently
+	// owned arrays of sliceLen instructions each (the last may be
+	// shorter; sliceLen == 0 or >= the trace length means one array).
+	// Called once per cache miss, outside the cache lock.
+	Record func(sliceLen uint64) [][]trace.Inst
+
+	// Range re-materializes instructions [lo, hi) of the same trace —
+	// the evicted-slice refill path. nil disables slice granularity for
+	// this trace: it is cached as a single slice and evicts whole.
+	Range func(lo, hi uint64) []trace.Inst
+}
+
 // key identifies one recordable trace. Budget is deliberately not part
 // of the key: one entry per (workload, input) holds the largest budget
 // recorded so far and serves smaller budgets as prefixes.
@@ -55,15 +82,33 @@ type key struct {
 	input int
 }
 
-// entry is one cached (or in-flight) recording.
+// entry is the header of one cached (or in-flight) recording: identity,
+// recorded extent, and the slice table. Headers are a few dozen bytes
+// and live for the cache lifetime; only slice arrays are evictable.
 type entry struct {
-	key    key
-	budget uint64        // budget the recording was requested at
-	buf    *trace.Buffer // nil while the recording is in flight
-	bytes  int64
-	ready  chan struct{} // closed when buf is set
-	elem   *list.Element // LRU position; nil while in flight or after eviction
+	key      key
+	budget   uint64 // budget the recording was requested at
+	total    uint64 // instructions actually recorded (== budget unless the payload ended early)
+	sliceLen uint64 // slice granularity of this entry (== total extent when whole-trace)
+	slices   []*sliceEnt
+	rng      func(lo, hi uint64) []trace.Inst // deterministic refill for [lo, hi)
+	ready    chan struct{}                    // closed when slices/total are set
 }
+
+// sliceEnt is one independently accounted, independently evictable
+// slice of a cached trace. insts == nil means evicted; ready != nil
+// means a re-record is in flight on another goroutine.
+type sliceEnt struct {
+	e     *entry
+	idx   int
+	insts []trace.Inst
+	bytes int64
+	elem  *list.Element // LRU position; nil while evicted or in flight
+	ready chan struct{}
+}
+
+// lo returns the global index of the slice's first instruction.
+func (se *sliceEnt) lo() uint64 { return uint64(se.idx) * se.e.sliceLen }
 
 // memoEntry is one cached (or in-flight) derived result (see Memo).
 type memoEntry struct {
@@ -73,15 +118,22 @@ type memoEntry struct {
 }
 
 // Stats are the cache's lifetime counters. Hits+Coalesced+Misses is the
-// total number of Record calls; MemoHits+MemoMisses the Memo calls.
+// total number of Record calls; MemoHits+MemoMisses the Memo calls; the
+// Slice* counters track the slice-granular serving underneath.
 type Stats struct {
-	Hits       uint64 // served from a completed recording
-	Coalesced  uint64 // blocked on another goroutine's in-flight recording
-	Misses     uint64 // initiated a recording (== recordings performed)
-	Evictions  uint64 // entries dropped by the LRU memory cap
-	Entries    int    // completed recordings currently resident
-	BytesInUse int64  // resident trace bytes
-	CapBytes   int64  // configured cap (0 = unbounded)
+	Hits      uint64 // trace served from a completed recording
+	Coalesced uint64 // blocked on another goroutine's in-flight recording
+	Misses    uint64 // initiated a full recording (== recordings performed)
+
+	SliceHits      uint64 // slice ranges served from resident arrays
+	SliceRerecords uint64 // evicted slices re-materialized on demand
+	SliceEvictions uint64 // slices dropped by the LRU memory cap
+
+	Entries    int   // trace headers resident (completed recordings)
+	Slices     int   // slice arrays currently resident
+	BytesInUse int64 // resident instruction bytes across all slices
+	CapBytes   int64 // configured cap (0 = unbounded)
+
 	MemoHits   uint64 // derived results served from memory (incl. coalesced)
 	MemoMisses uint64 // derived results computed
 }
@@ -89,7 +141,9 @@ type Stats struct {
 // Table renders the counters as a report table (for stderr diagnostics).
 func (s Stats) Table() *report.Table {
 	t := report.NewTable("trace cache",
-		"hits", "coalesced", "misses", "evictions", "entries", "MiB in use", "MiB cap",
+		"hits", "coalesced", "misses",
+		"slice hits", "re-records", "evictions",
+		"traces", "slices", "MiB in use", "MiB cap",
 		"memo hits", "memo misses")
 	capMiB := "unbounded"
 	if s.CapBytes > 0 {
@@ -99,8 +153,11 @@ func (s Stats) Table() *report.Table {
 		fmt.Sprintf("%d", s.Hits),
 		fmt.Sprintf("%d", s.Coalesced),
 		fmt.Sprintf("%d", s.Misses),
-		fmt.Sprintf("%d", s.Evictions),
+		fmt.Sprintf("%d", s.SliceHits),
+		fmt.Sprintf("%d", s.SliceRerecords),
+		fmt.Sprintf("%d", s.SliceEvictions),
 		fmt.Sprintf("%d", s.Entries),
+		fmt.Sprintf("%d", s.Slices),
 		fmt.Sprintf("%.1f", float64(s.BytesInUse)/(1<<20)),
 		capMiB,
 		fmt.Sprintf("%d", s.MemoHits),
@@ -110,49 +167,82 @@ func (s Stats) Table() *report.Table {
 
 // String is a single-line rendering of the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d coalesced=%d misses=%d evictions=%d entries=%d bytes=%d memo=%d/%d",
-		s.Hits, s.Coalesced, s.Misses, s.Evictions, s.Entries, s.BytesInUse,
+	return fmt.Sprintf("hits=%d coalesced=%d misses=%d slices=%d/%d sliceops=%d/%d/%d bytes=%d memo=%d/%d",
+		s.Hits, s.Coalesced, s.Misses, s.Slices, s.Entries,
+		s.SliceHits, s.SliceRerecords, s.SliceEvictions, s.BytesInUse,
 		s.MemoHits, s.MemoHits+s.MemoMisses)
 }
 
+// StatsFlag registers the shared -cachestats flag (used by both
+// cmd/experiments and cmd/bpsim) on fs, or flag.CommandLine when fs is
+// nil, and returns the destination.
+func StatsFlag(fs *flag.FlagSet) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("cachestats", true, "print the trace cache counters table to stderr on exit")
+}
+
+// WriteStats writes c's counters table to w — the one rendering both
+// CLIs share. A nil cache writes nothing.
+func WriteStats(w io.Writer, c *Cache) {
+	if c == nil {
+		return
+	}
+	fmt.Fprint(w, c.Stats().Table().String())
+}
+
 // Cache is a concurrency-safe trace cache. The zero value is not usable;
-// construct with New. A nil *Cache is valid everywhere and disables
-// caching (every Record call records).
+// construct with New or NewSliced. A nil *Cache is valid everywhere and
+// disables caching (every Record call records).
 type Cache struct {
-	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	entries  map[key]*entry
-	memos    map[string]*memoEntry
-	lru      list.List // front = least recently used
-	stats    Stats
+	mu         sync.Mutex
+	maxBytes   int64
+	sliceInsts uint64
+	bytes      int64
+	entries    map[key]*entry
+	memos      map[string]*memoEntry
+	lru        list.List // front = least recently used slice
+	stats      Stats
 }
 
 // New returns a cache holding at most maxBytes of recorded trace data
-// (the instruction arrays; bookkeeping overhead is not counted).
-// maxBytes <= 0 means unbounded.
+// (the instruction arrays; bookkeeping overhead is not counted), with
+// the default slice granularity. maxBytes <= 0 means unbounded.
 func New(maxBytes int64) *Cache {
+	return NewSliced(maxBytes, DefaultSliceInsts)
+}
+
+// NewSliced is New with an explicit slice granularity in instructions.
+// sliceInsts == 0 disables slice granularity: traces are cached as
+// single slices and evict whole, the pre-slice behaviour.
+func NewSliced(maxBytes int64, sliceInsts uint64) *Cache {
 	c := &Cache{
-		maxBytes: maxBytes,
-		entries:  make(map[key]*entry),
-		memos:    make(map[string]*memoEntry),
+		maxBytes:   maxBytes,
+		sliceInsts: sliceInsts,
+		entries:    make(map[key]*entry),
+		memos:      make(map[string]*memoEntry),
 	}
 	c.lru.Init()
 	return c
 }
 
 // Record returns the trace for (name, input) truncated to budget
-// instructions, invoking record to materialize it on a miss. record must
+// instructions, invoking src to materialize it on a miss. src must
 // produce the deterministic recording for exactly this (name, input,
-// budget) triple; it is called without the cache lock held, so it may be
-// arbitrarily slow and may itself use the cache under different keys.
+// budget) triple; its callbacks run without the cache lock held, so
+// they may be arbitrarily slow and may themselves use the cache under
+// different keys.
 //
-// Concurrent calls for the same key share one recording. A call whose
-// budget exceeds the resident entry's re-records at the larger budget
-// and replaces it.
-func (c *Cache) Record(name string, input int, budget uint64, record func() *trace.Buffer) *trace.Buffer {
+// The returned view replays through resident slices zero-copy and
+// re-materializes evicted slices on demand (Source.Range), so replays
+// are byte-identical to an uncached recording under any cap. Concurrent
+// calls for the same key share one recording. A call whose budget
+// exceeds the resident entry's re-records at the larger budget and
+// replaces it.
+func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.Replayable {
 	if c == nil {
-		return record()
+		return trace.FromSlice(joinArrays(src.Record(0)))
 	}
 	k := key{name, input}
 	c.mu.Lock()
@@ -161,7 +251,7 @@ func (c *Cache) Record(name string, input int, budget uint64, record func() *tra
 		if e == nil {
 			break
 		}
-		if e.buf == nil {
+		if e.slices == nil {
 			// In flight on another goroutine. Wait for it; if it was
 			// requested at a sufficient budget it serves this call too,
 			// otherwise loop and re-record larger.
@@ -172,26 +262,20 @@ func (c *Cache) Record(name string, input int, budget uint64, record func() *tra
 			c.mu.Unlock()
 			<-e.ready
 			c.mu.Lock()
-			if sufficient && e.buf != nil {
-				if e.elem != nil {
-					c.lru.MoveToBack(e.elem)
-				}
-				buf := e.buf
+			if sufficient && e.slices != nil {
+				v := viewOf(c, e, budget)
 				c.mu.Unlock()
-				return prefixView(buf, budget)
+				return v
 			}
-			// Too small — or the recording panicked (buf still nil, entry
-			// withdrawn): loop and record it ourselves.
+			// Too small — or the recording panicked (slices still nil,
+			// entry withdrawn): loop and record it ourselves.
 			continue
 		}
 		if e.budget >= budget {
 			c.stats.Hits++
-			if e.elem != nil {
-				c.lru.MoveToBack(e.elem)
-			}
-			buf := e.buf
+			v := viewOf(c, e, budget)
 			c.mu.Unlock()
-			return prefixView(buf, budget)
+			return v
 		}
 		// Resident but recorded at a smaller budget: drop it and
 		// re-record at the larger one.
@@ -200,12 +284,26 @@ func (c *Cache) Record(name string, input int, budget uint64, record func() *tra
 	}
 
 	e := &entry{key: k, budget: budget, ready: make(chan struct{})}
+	e.sliceLen = c.sliceInsts
+	if e.sliceLen == 0 || e.sliceLen > budget || src.Range == nil {
+		e.sliceLen = budget
+	}
+	e.rng = src.Range
+	if e.rng == nil {
+		// Whole-trace granularity: the single slice refills through a
+		// full re-recording.
+		record := src.Record
+		e.rng = func(lo, hi uint64) []trace.Inst {
+			return joinArrays(record(0))[lo:hi]
+		}
+	}
 	c.entries[k] = e
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	// If record panics, withdraw the entry and wake waiters before
-	// re-raising, so coalesced goroutines retry instead of deadlocking.
+	// If the recording panics, withdraw the entry and wake waiters
+	// before re-raising, so coalesced goroutines retry instead of
+	// deadlocking.
 	done := false
 	defer func() {
 		if done {
@@ -218,21 +316,100 @@ func (c *Cache) Record(name string, input int, budget uint64, record func() *tra
 		close(e.ready)
 		c.mu.Unlock()
 	}()
-	buf := record()
+	arrs := src.Record(e.sliceLen)
+	for i, a := range arrs {
+		// Middle slices must be exactly sliceLen: the slice index math
+		// (global index / sliceLen) depends on it.
+		if i < len(arrs)-1 && uint64(len(a)) != e.sliceLen {
+			panic(fmt.Sprintf("tracecache: Source.Record(%d) slice %d has %d insts", e.sliceLen, i, len(a)))
+		}
+	}
 	done = true
 
 	c.mu.Lock()
-	e.buf = buf
-	e.bytes = int64(buf.Len()) * instBytes
+	e.slices = make([]*sliceEnt, len(arrs))
+	for i, a := range arrs {
+		e.slices[i] = &sliceEnt{e: e, idx: i, insts: a, bytes: int64(len(a)) * instBytes}
+		e.total += uint64(len(a))
+	}
 	close(e.ready)
 	if c.entries[k] == e {
-		e.elem = c.lru.PushBack(e)
-		c.bytes += e.bytes
+		for _, se := range e.slices {
+			se.elem = c.lru.PushBack(se)
+			c.bytes += se.bytes
+			c.stats.Slices++
+		}
 		c.stats.Entries++
 		c.evictLocked()
 	}
+	v := viewOf(c, e, budget)
 	c.mu.Unlock()
-	return prefixView(buf, budget)
+	return v
+}
+
+// pin returns slice si's instruction array, re-materializing it under
+// per-slice singleflight if it was evicted. The caller keeps the array
+// alive independently of any subsequent eviction.
+func (c *Cache) pin(e *entry, si int) []trace.Inst {
+	c.mu.Lock()
+	for {
+		se := e.slices[si]
+		if se.insts != nil {
+			c.stats.SliceHits++
+			if se.elem != nil {
+				c.lru.MoveToBack(se.elem)
+			}
+			data := se.insts
+			c.mu.Unlock()
+			return data
+		}
+		if se.ready != nil {
+			// Re-record in flight on another goroutine; wait and retry
+			// (the refill may be evicted again before we wake).
+			ch := se.ready
+			c.mu.Unlock()
+			<-ch
+			c.mu.Lock()
+			continue
+		}
+		se.ready = make(chan struct{})
+		c.mu.Unlock()
+
+		lo := se.lo()
+		hi := lo + e.sliceLen
+		if hi > e.total {
+			hi = e.total
+		}
+		// On panic, withdraw the in-flight marker and wake waiters
+		// before re-raising so they retry instead of deadlocking.
+		done := false
+		defer func() {
+			if done {
+				return
+			}
+			c.mu.Lock()
+			close(se.ready)
+			se.ready = nil
+			c.mu.Unlock()
+		}()
+		data := e.rng(lo, hi)
+		done = true
+
+		c.mu.Lock()
+		se.insts = data
+		se.bytes = int64(len(data)) * instBytes
+		close(se.ready)
+		se.ready = nil
+		c.stats.SliceRerecords++
+		if c.entries[e.key] == e {
+			se.elem = c.lru.PushBack(se)
+			c.bytes += se.bytes
+			c.stats.Slices++
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+		return data
+	}
 }
 
 // Memo returns the value computed by fn for key, computing it at most
@@ -243,9 +420,12 @@ func (c *Cache) Record(name string, input int, budget uint64, record func() *tra
 // they are exempt from the LRU cap and never evicted. (The largest
 // memoized values are screening collectors, roughly 1% of the footprint
 // of the trace they summarize; retaining every one for an invocation is
-// deliberate and costs far less than a single extra trace.) Callers
-// must treat returned values as immutable: the same object is handed to
-// every caller of the key. A nil *Cache computes every call.
+// deliberate and costs far less than a single extra trace.) Inputs
+// served from re-materialized slices are byte-identical to the original
+// recording, so a memo computed before an eviction is still exact for
+// every caller after it. Callers must treat returned values as
+// immutable: the same object is handed to every caller of the key. A
+// nil *Cache computes every call.
 func (c *Cache) Memo(key string, fn func() any) any {
 	if c == nil {
 		return fn()
@@ -300,23 +480,29 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
-// drop removes a resident entry from the map and LRU (caller holds mu).
+// drop removes a resident entry and all its resident slices from the
+// map and LRU (caller holds mu). Views already handed out keep working:
+// they hold the entry and re-materialize through its rng, un-accounted.
 func (c *Cache) drop(e *entry) {
 	if c.entries[e.key] == e {
 		delete(c.entries, e.key)
-	}
-	if e.elem != nil {
-		c.lru.Remove(e.elem)
-		e.elem = nil
-		c.bytes -= e.bytes
 		c.stats.Entries--
+	}
+	for _, se := range e.slices {
+		if se.elem != nil {
+			c.lru.Remove(se.elem)
+			se.elem = nil
+			c.bytes -= se.bytes
+			c.stats.Slices--
+		}
 	}
 }
 
-// evictLocked enforces the memory cap, least-recently-used first
-// (caller holds mu). In-flight entries are never in the LRU list and so
-// are never evicted. Waiters holding an evicted entry's buffer keep it
-// alive independently of the cache.
+// evictLocked enforces the memory cap, least-recently-used slice first
+// (caller holds mu). In-flight slices are never in the LRU list and so
+// are never evicted. Streams holding an evicted slice's array keep it
+// alive independently of the cache; eviction only drops the cache's
+// reference and its accounting.
 func (c *Cache) evictLocked() {
 	if c.maxBytes <= 0 {
 		return
@@ -326,19 +512,146 @@ func (c *Cache) evictLocked() {
 		if front == nil {
 			return
 		}
-		e := front.Value.(*entry)
-		c.drop(e)
-		c.stats.Evictions++
+		se := front.Value.(*sliceEnt)
+		c.lru.Remove(se.elem)
+		se.elem = nil
+		se.insts = nil
+		c.bytes -= se.bytes
+		se.bytes = 0
+		c.stats.Slices--
+		c.stats.SliceEvictions++
 	}
 }
 
-// prefixView serves a request of the given budget from buf. Budgets at
-// or above the recorded length get the buffer itself (the common case in
-// one experiments invocation, where all budgets are equal); smaller
-// budgets get a zero-copy prefix view.
-func prefixView(buf *trace.Buffer, budget uint64) *trace.Buffer {
-	if budget >= uint64(buf.Len()) {
-		return buf
+// joinArrays concatenates per-slice arrays into one (zero-copy for the
+// single-array case) — the nil-cache and whole-trace fallback.
+func joinArrays(arrs [][]trace.Inst) []trace.Inst {
+	if len(arrs) == 1 {
+		return arrs[0]
 	}
-	return buf.Prefix(int(budget))
+	n := 0
+	for _, a := range arrs {
+		n += len(a)
+	}
+	out := make([]trace.Inst, 0, n)
+	for _, a := range arrs {
+		out = append(out, a...)
+	}
+	return out
+}
+
+// viewOf serves a request of the given budget from e (caller holds mu).
+// Budgets at or above the recorded length get the whole trace; smaller
+// budgets get a prefix view — both zero-copy window descriptors.
+func viewOf(c *Cache, e *entry, budget uint64) *view {
+	n := e.total
+	if budget < n {
+		n = budget
+	}
+	return &view{c: c, e: e, off: 0, n: int(n)}
+}
+
+// view is a trace.Replayable window [off, off+n) of a cached trace. It
+// holds no instruction data itself: streams pin one slice at a time, so
+// a replay's live set is one slice per active stream regardless of
+// trace length.
+type view struct {
+	c   *Cache
+	e   *entry
+	off int
+	n   int
+}
+
+var _ trace.Replayable = (*view)(nil)
+
+// Len implements trace.Replayable.
+func (v *view) Len() int { return v.n }
+
+// Range implements trace.Replayable.
+func (v *view) Range(lo, hi int) trace.Replayable {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &view{c: v.c, e: v.e, off: v.off + lo, n: hi - lo}
+}
+
+// Stream implements trace.Replayable. The reader serves blocks natively
+// (zero-copy views of resident slice arrays, one pin per slice).
+func (v *view) Stream() trace.Stream { return &viewStream{v: v} }
+
+// BlockStream implements trace.Replayable: blocks of at most n
+// instructions (up to a whole slice per block when n <= 0).
+func (v *view) BlockStream(n int) trace.BlockStream {
+	if n < 0 {
+		n = 0
+	}
+	return &viewStream{v: v, blockCap: n}
+}
+
+// viewStream reads a view in trace order. It implements trace.Stream
+// and trace.BlockStream; blocks are zero-copy windows of one slice
+// array, clipped to the view and to blockCap when set.
+type viewStream struct {
+	v        *view
+	pos      int // next unserved view-relative index
+	blockCap int
+	cur      []trace.Inst // block handed out by fill, consumed by Next
+	curIdx   int
+}
+
+// nextWindow pins the slice containing the next instruction and returns
+// the largest servable window of it.
+func (s *viewStream) nextWindow() []trace.Inst {
+	if s.pos >= s.v.n {
+		return nil
+	}
+	e := s.v.e
+	g := uint64(s.v.off + s.pos)
+	si := int(g / e.sliceLen)
+	data := s.v.c.pin(e, si)
+	so := int(g - uint64(si)*e.sliceLen)
+	end := len(data)
+	if rem := s.v.n - s.pos; end-so > rem {
+		end = so + rem
+	}
+	if s.blockCap > 0 && end-so > s.blockCap {
+		end = so + s.blockCap
+	}
+	blk := data[so:end:end]
+	s.pos += len(blk)
+	return blk
+}
+
+// NextBlock implements trace.BlockStream.
+func (s *viewStream) NextBlock() []trace.Inst {
+	if s.curIdx < len(s.cur) {
+		// Hand out the remainder of a window partially consumed by Next.
+		blk := s.cur[s.curIdx:]
+		s.cur, s.curIdx = nil, 0
+		return blk
+	}
+	s.cur, s.curIdx = nil, 0
+	return s.nextWindow()
+}
+
+// Next implements trace.Stream.
+func (s *viewStream) Next(inst *trace.Inst) bool {
+	for s.curIdx >= len(s.cur) {
+		s.cur, s.curIdx = s.nextWindow(), 0
+		if len(s.cur) == 0 {
+			return false
+		}
+	}
+	*inst = s.cur[s.curIdx]
+	s.curIdx++
+	return true
 }

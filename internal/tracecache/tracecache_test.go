@@ -8,55 +8,98 @@ import (
 	"branchlab/internal/trace"
 )
 
-// mkBuffer builds a synthetic trace of n instructions whose DstValue
-// encodes the instruction index, so prefix identity is checkable.
-func mkBuffer(n int) *trace.Buffer {
-	b := trace.NewBuffer(n)
-	for i := 0; i < n; i++ {
-		b.Append(trace.Inst{IP: 0x400000 + uint64(i)*4, Kind: trace.KindALU, DstValue: uint64(i)})
-	}
-	return b
-}
-
-// recorder returns a record func that counts its invocations.
-func recorder(n int, calls *atomic.Int64) func() *trace.Buffer {
-	return func() *trace.Buffer {
-		calls.Add(1)
-		return mkBuffer(n)
-	}
-}
-
-func drain(t *testing.T, b *trace.Buffer) []uint64 {
-	t.Helper()
-	var out []uint64
-	var inst trace.Inst
-	s := b.Stream()
-	for s.Next(&inst) {
-		out = append(out, inst.DstValue)
+// mkInsts builds instructions [lo, hi) of the synthetic test trace,
+// whose DstValue encodes the global instruction index so prefix, slice
+// and re-record identity are all checkable.
+func mkInsts(lo, hi int) []trace.Inst {
+	out := make([]trace.Inst, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, trace.Inst{IP: 0x400000 + uint64(i)*4, Kind: trace.KindALU, DstValue: uint64(i)})
 	}
 	return out
 }
 
+// mkBuffer is the whole test trace as a Buffer (the uncached reference).
+func mkBuffer(n int) *trace.Buffer { return trace.FromSlice(mkInsts(0, n)) }
+
+// source is a counting Source over an n-instruction deterministic trace.
+type source struct {
+	n       int
+	records atomic.Int64 // full recordings performed
+	ranges  atomic.Int64 // slice ranges re-materialized
+}
+
+func (s *source) Source() Source {
+	return Source{
+		Record: func(sliceLen uint64) [][]trace.Inst {
+			s.records.Add(1)
+			if sliceLen == 0 || sliceLen >= uint64(s.n) {
+				return [][]trace.Inst{mkInsts(0, s.n)}
+			}
+			var out [][]trace.Inst
+			for lo := 0; lo < s.n; lo += int(sliceLen) {
+				hi := lo + int(sliceLen)
+				if hi > s.n {
+					hi = s.n
+				}
+				out = append(out, mkInsts(lo, hi))
+			}
+			return out
+		},
+		Range: func(lo, hi uint64) []trace.Inst {
+			s.ranges.Add(1)
+			return mkInsts(int(lo), int(hi))
+		},
+	}
+}
+
+// WholeSource is Source without range re-materialization: the cache
+// must fall back to whole-trace granularity for it.
+func (s *source) WholeSource() Source {
+	src := s.Source()
+	src.Range = nil
+	return src
+}
+
+func drain(t *testing.T, tr trace.Replayable) []uint64 {
+	t.Helper()
+	var out []uint64
+	var inst trace.Inst
+	s := tr.Stream()
+	for s.Next(&inst) {
+		out = append(out, inst.DstValue)
+	}
+	if len(out) != tr.Len() {
+		t.Fatalf("stream yielded %d insts, Len() says %d", len(out), tr.Len())
+	}
+	return out
+}
+
+// checkIdentity verifies a drained view against the reference trace.
+func checkIdentity(t *testing.T, vals []uint64, lo int) {
+	t.Helper()
+	for i, v := range vals {
+		if v != uint64(lo+i) {
+			t.Fatalf("inst %d has value %d, want %d", i, v, lo+i)
+		}
+	}
+}
+
 func TestPrefixServing(t *testing.T) {
 	c := New(0)
-	var calls atomic.Int64
-	full := c.Record("w", 0, 100, recorder(100, &calls))
+	src := &source{n: 100}
+	full := c.Record("w", 0, 100, src.Source())
 	if full.Len() != 100 {
 		t.Fatalf("full recording has %d insts, want 100", full.Len())
 	}
-	half := c.Record("w", 0, 50, recorder(50, &calls))
-	if got := calls.Load(); got != 1 {
+	half := c.Record("w", 0, 50, src.Source())
+	if got := src.records.Load(); got != 1 {
 		t.Fatalf("recorder ran %d times, want 1 (prefix must be served from cache)", got)
 	}
 	if half.Len() != 50 {
 		t.Fatalf("prefix has %d insts, want 50", half.Len())
 	}
-	vals := drain(t, half)
-	for i, v := range vals {
-		if v != uint64(i) {
-			t.Fatalf("prefix inst %d has value %d, want %d", i, v, i)
-		}
-	}
+	checkIdentity(t, drain(t, half), 0)
 	st := c.Stats()
 	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
 		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
@@ -65,23 +108,25 @@ func TestPrefixServing(t *testing.T) {
 
 func TestLargerBudgetReRecords(t *testing.T) {
 	c := New(0)
-	var calls atomic.Int64
-	c.Record("w", 0, 50, recorder(50, &calls))
-	big := c.Record("w", 0, 100, recorder(100, &calls))
-	if calls.Load() != 2 {
-		t.Fatalf("recorder ran %d times, want 2 (larger budget must re-record)", calls.Load())
+	small, large := &source{n: 50}, &source{n: 100}
+	c.Record("w", 0, 50, small.Source())
+	big := c.Record("w", 0, 100, large.Source())
+	if small.records.Load()+large.records.Load() != 2 {
+		t.Fatalf("recorders ran %d+%d times, want 2 total (larger budget must re-record)",
+			small.records.Load(), large.records.Load())
 	}
 	if big.Len() != 100 {
 		t.Fatalf("re-recording has %d insts, want 100", big.Len())
 	}
+	checkIdentity(t, drain(t, big), 0)
 	st := c.Stats()
 	if st.Entries != 1 {
 		t.Fatalf("entries = %d, want 1 (smaller recording replaced)", st.Entries)
 	}
 	// The replacement serves subsequent smaller requests.
-	c.Record("w", 0, 50, recorder(50, &calls))
-	if calls.Load() != 2 {
-		t.Fatalf("recorder ran %d times after replacement hit, want 2", calls.Load())
+	c.Record("w", 0, 50, small.Source())
+	if small.records.Load() != 1 {
+		t.Fatalf("small recorder ran %d times after replacement hit, want 1", small.records.Load())
 	}
 }
 
@@ -105,74 +150,190 @@ func TestBufferPrefixIsZeroCopyAndAppendSafe(t *testing.T) {
 	}
 }
 
-func TestLRUEviction(t *testing.T) {
-	// Cap sized for two 100-instruction recordings.
-	c := New(2 * 100 * instBytes)
-	var calls atomic.Int64
-	c.Record("a", 0, 100, recorder(100, &calls))
-	c.Record("b", 0, 100, recorder(100, &calls))
-	c.Record("a", 0, 100, recorder(100, &calls)) // touch a: b is now LRU
-	c.Record("c", 0, 100, recorder(100, &calls)) // evicts b
+// TestSliceEvictionAccounting pins the exactness of the slice-level
+// counters: resident bytes must equal the sum of resident slice arrays
+// at every observable point, and evictions must drop exactly the
+// least-recently-pinned slices.
+func TestSliceEvictionAccounting(t *testing.T) {
+	// 40-instruction trace in 10-instruction slices, cap = 2 slices.
+	c := NewSliced(2*10*instBytes, 10)
+	src := &source{n: 40}
+	v := c.Record("w", 0, 40, src.Source())
 	st := c.Stats()
-	if st.Evictions != 1 || st.Entries != 2 {
-		t.Fatalf("stats = %+v, want 1 eviction and 2 entries", st)
+	if st.Slices != 2 || st.SliceEvictions != 2 {
+		t.Fatalf("after insert: %d slices resident, %d evicted; want 2 and 2", st.Slices, st.SliceEvictions)
+	}
+	if st.BytesInUse != 2*10*instBytes {
+		t.Fatalf("bytes in use %d, want %d", st.BytesInUse, 2*10*instBytes)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (headers survive slice eviction)", st.Entries)
+	}
+	// Replay the whole view: evicted slices re-record, residency stays
+	// at the cap, and the content is byte-identical to the reference.
+	// A sequential scan through a cap half the trace thrashes: each
+	// re-inserted slice evicts the next one the scan will need, so all
+	// four slices re-record and the scan leaves the last two resident.
+	checkIdentity(t, drain(t, v), 0)
+	st = c.Stats()
+	if src.ranges.Load() != 4 {
+		t.Fatalf("replay re-recorded %d slices, want 4 (LRU thrash on a sequential scan)", src.ranges.Load())
+	}
+	if st.SliceRerecords != 4 {
+		t.Fatalf("SliceRerecords = %d, want 4", st.SliceRerecords)
+	}
+	if st.BytesInUse != 2*10*instBytes || st.Slices != 2 {
+		t.Fatalf("after replay: bytes=%d slices=%d, want cap-resident 2 slices (%d bytes)",
+			st.BytesInUse, st.Slices, 2*10*instBytes)
+	}
+	if st.BytesInUse > c.maxBytes {
+		t.Fatalf("resident bytes %d exceed the cap %d", st.BytesInUse, c.maxBytes)
+	}
+	// A fully resident range replays with no re-record: the last two
+	// slices ([20,40)) are what the drain left resident.
+	before := src.ranges.Load()
+	checkIdentity(t, drain(t, v.Range(20, 40)), 20)
+	if src.ranges.Load() != before {
+		t.Fatalf("resident range replay re-recorded %d slices, want 0", src.ranges.Load()-before)
+	}
+}
+
+// TestEvictedSliceReRecordByteIdentity forces eviction at several slice
+// geometries and checks every replay (full, range, repeated) against
+// the uncached reference — the byte-invisibility contract.
+func TestEvictedSliceReRecordByteIdentity(t *testing.T) {
+	const n = 100
+	for _, sliceLen := range []uint64{1, 3, 7, 16, 64, 100, 1000} {
+		// Cap of one slice: every replay step evicts its predecessor.
+		c := NewSliced(int64(sliceLen)*instBytes, sliceLen)
+		src := &source{n: n}
+		v := c.Record("w", 0, n, src.Source())
+		for pass := 0; pass < 2; pass++ {
+			checkIdentity(t, drain(t, v), 0)
+		}
+		checkIdentity(t, drain(t, v.Range(33, 77)), 33)
+		if v.Range(33, 77).Len() != 44 {
+			t.Fatalf("sliceLen=%d: Range(33,77).Len() = %d, want 44", sliceLen, v.Range(33, 77).Len())
+		}
+		if sliceLen < n && src.ranges.Load() == 0 {
+			t.Fatalf("sliceLen=%d: no slice was ever re-recorded under a one-slice cap", sliceLen)
+		}
+		if src.records.Load() != 1 {
+			t.Fatalf("sliceLen=%d: full recorder ran %d times, want 1", sliceLen, src.records.Load())
+		}
+	}
+}
+
+// TestWholeTraceGranularityNoRange: a Source without Range caches as a
+// single slice and refills through a full re-recording.
+func TestWholeTraceGranularityNoRange(t *testing.T) {
+	c := NewSliced(10*instBytes, 10) // cap smaller than the trace
+	src := &source{n: 100}
+	v := c.Record("w", 0, 100, src.WholeSource())
+	checkIdentity(t, drain(t, v), 0)
+	if src.records.Load() != 2 {
+		t.Fatalf("recorder ran %d times, want 2 (initial + whole-trace refill)", src.records.Load())
+	}
+	if st := c.Stats(); st.SliceRerecords != 1 {
+		t.Fatalf("SliceRerecords = %d, want 1", st.SliceRerecords)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Whole-trace slices (sliceLen >= budget), cap sized for two
+	// 100-instruction recordings: classic entry-level LRU.
+	c := NewSliced(2*100*instBytes, 100)
+	a := &source{n: 100}
+	b := &source{n: 100}
+	cc := &source{n: 100}
+	drain(t, c.Record("a", 0, 100, a.Source()))
+	drain(t, c.Record("b", 0, 100, b.Source()))
+	drain(t, c.Record("a", 0, 100, a.Source()))  // touch a: b is now LRU
+	drain(t, c.Record("c", 0, 100, cc.Source())) // evicts b
+	st := c.Stats()
+	if st.SliceEvictions != 1 || st.Slices != 2 {
+		t.Fatalf("stats = %+v, want 1 slice eviction and 2 resident slices", st)
 	}
 	if st.BytesInUse != 2*100*instBytes {
 		t.Fatalf("bytes in use %d, want %d", st.BytesInUse, 2*100*instBytes)
 	}
-	calls.Store(0)
-	c.Record("a", 0, 100, recorder(100, &calls))
-	if calls.Load() != 0 {
-		t.Fatal("a should have survived (recently used)")
+	// a survived (recently pinned): replaying it re-records nothing.
+	drain(t, c.Record("a", 0, 100, a.Source()))
+	if r := a.ranges.Load() + a.records.Load(); r != 1 {
+		t.Fatalf("a recorded %d times total, want 1 (should have survived)", r)
 	}
-	c.Record("b", 0, 100, recorder(100, &calls))
-	if calls.Load() != 1 {
-		t.Fatal("b should have been evicted and re-recorded")
+	// b was evicted: replaying it re-materializes.
+	drain(t, c.Record("b", 0, 100, b.Source()))
+	if b.ranges.Load() == 0 {
+		t.Fatal("b should have been evicted and re-recorded on replay")
 	}
 }
 
 func TestCapSmallerThanOneTrace(t *testing.T) {
-	// A cache smaller than a single recording degrades to recording
-	// every time, never caching — but still returns correct traces.
-	c := New(10 * instBytes)
-	var calls atomic.Int64
+	// A cache smaller than a single slice degrades to re-recording the
+	// active slice every time — but still returns correct traces and
+	// its accounted residency stays at zero after each pin.
+	c := NewSliced(10*instBytes, 100)
+	src := &source{n: 100}
 	for i := 0; i < 3; i++ {
-		b := c.Record("w", 0, 100, recorder(100, &calls))
-		if b.Len() != 100 {
-			t.Fatalf("iteration %d: got %d insts, want 100", i, b.Len())
+		v := c.Record("w", 0, 100, src.Source())
+		if v.Len() != 100 {
+			t.Fatalf("iteration %d: got %d insts, want 100", i, v.Len())
 		}
+		checkIdentity(t, drain(t, v), 0)
 	}
-	if calls.Load() != 3 {
-		t.Fatalf("recorder ran %d times, want 3", calls.Load())
+	if src.records.Load() != 1 {
+		t.Fatalf("full recorder ran %d times, want 1", src.records.Load())
 	}
-	if st := c.Stats(); st.Entries != 0 || st.BytesInUse != 0 {
-		t.Fatalf("stats = %+v, want empty cache", st)
+	if src.ranges.Load() != 3 {
+		t.Fatalf("slice re-recorded %d times, want 3 (once per replay)", src.ranges.Load())
+	}
+	if st := c.Stats(); st.Slices != 0 || st.BytesInUse != 0 {
+		t.Fatalf("stats = %+v, want no resident slices", st)
+	}
+}
+
+// TestCappedResidencyBelowWholeTrace is the acceptance bound: replaying
+// a whole trace through a small cap keeps accounted residency below one
+// whole-trace footprint at every sample point.
+func TestCappedResidencyBelowWholeTrace(t *testing.T) {
+	const n = 1000
+	cap := int64(3 * 100 * instBytes) // 3 of 10 slices
+	c := NewSliced(cap, 100)
+	src := &source{n: n}
+	v := c.Record("w", 0, n, src.Source())
+	whole := int64(n) * instBytes
+	bs := v.BlockStream(64)
+	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+		if st := c.Stats(); st.BytesInUse > cap || st.BytesInUse >= whole {
+			t.Fatalf("residency %d bytes exceeds cap %d (whole trace %d)", st.BytesInUse, cap, whole)
+		}
 	}
 }
 
 func TestSingleflight(t *testing.T) {
 	c := New(0)
-	var calls atomic.Int64
+	src := &source{n: 5000}
 	const goroutines = 16
 	var start, done sync.WaitGroup
 	start.Add(1)
 	done.Add(goroutines)
-	bufs := make([]*trace.Buffer, goroutines)
+	lens := make([]int, goroutines)
 	for g := 0; g < goroutines; g++ {
 		go func(g int) {
 			defer done.Done()
 			start.Wait()
-			bufs[g] = c.Record("w", 0, 5000, recorder(5000, &calls))
+			lens[g] = c.Record("w", 0, 5000, src.Source()).Len()
 		}(g)
 	}
 	start.Done()
 	done.Wait()
-	if calls.Load() != 1 {
-		t.Fatalf("recorder ran %d times under %d concurrent requests, want 1", calls.Load(), goroutines)
+	if src.records.Load() != 1 {
+		t.Fatalf("recorder ran %d times under %d concurrent requests, want 1", src.records.Load(), goroutines)
 	}
-	for g := 1; g < goroutines; g++ {
-		if bufs[g] != bufs[0] {
-			t.Fatalf("goroutine %d got a different buffer", g)
+	for g := 0; g < goroutines; g++ {
+		if lens[g] != 5000 {
+			t.Fatalf("goroutine %d got a %d-inst trace, want 5000", g, lens[g])
 		}
 	}
 	st := c.Stats()
@@ -181,9 +342,37 @@ func TestSingleflight(t *testing.T) {
 	}
 }
 
+// TestConcurrentEvictedReplay hammers a one-slice-cap cache from many
+// goroutines: re-records coalesce per slice and every replay must be
+// byte-identical (run under -race).
+func TestConcurrentEvictedReplay(t *testing.T) {
+	c := NewSliced(16*instBytes, 16)
+	src := &source{n: 256}
+	v := c.Record("w", 0, 256, src.Source())
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := (g * 13) % 200
+			sub := v.Range(lo, lo+56)
+			var inst trace.Inst
+			s := sub.Stream()
+			for i := 0; s.Next(&inst); i++ {
+				if inst.DstValue != uint64(lo+i) {
+					t.Errorf("goroutine %d: inst %d = %d, want %d", g, i, inst.DstValue, lo+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 func TestConcurrentMixedKeys(t *testing.T) {
 	c := New(0)
-	var calls atomic.Int64
+	var records atomic.Int64
 	const goroutines = 32
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -194,19 +383,60 @@ func TestConcurrentMixedKeys(t *testing.T) {
 			if g%2 == 1 {
 				name = "odd"
 			}
-			b := c.Record(name, g%4/2, 1000, recorder(1000, &calls))
-			if b.Len() != 1000 {
-				t.Errorf("bad recording length %d", b.Len())
+			src := &source{n: 1000}
+			v := c.Record(name, g%4/2, 1000, src.Source())
+			records.Add(src.records.Load())
+			if v.Len() != 1000 {
+				t.Errorf("bad recording length %d", v.Len())
 			}
 		}(g)
 	}
 	wg.Wait()
 	// 2 names x 2 inputs = 4 distinct keys, each recorded exactly once.
-	if calls.Load() != 4 {
-		t.Fatalf("recorder ran %d times, want 4", calls.Load())
+	if records.Load() != 4 {
+		t.Fatalf("recorder ran %d times, want 4", records.Load())
 	}
 	if st := c.Stats(); st.Misses != 4 || st.Entries != 4 {
 		t.Fatalf("stats = %+v, want 4 misses and 4 entries", st)
+	}
+}
+
+// TestMemoFromRematerializedSlices: a memoized derived result computed
+// over re-materialized slices must equal the same computation over the
+// uncached trace — re-materialization is byte-invisible to Memo inputs
+// — and subsequent calls must be memo hits.
+func TestMemoFromRematerializedSlices(t *testing.T) {
+	sum := func(tr trace.Replayable) uint64 {
+		var s uint64
+		var inst trace.Inst
+		st := tr.Stream()
+		for st.Next(&inst) {
+			s += inst.DstValue
+		}
+		return s
+	}
+	want := sum(mkBuffer(100))
+
+	c := NewSliced(10*instBytes, 10) // one-slice cap: everything evicts
+	src := &source{n: 100}
+	v := c.Record("w", 0, 100, src.Source())
+	var computes atomic.Int64
+	got := c.Memo("sum/w/0", func() any {
+		computes.Add(1)
+		return sum(v)
+	}).(uint64)
+	if got != want {
+		t.Fatalf("memo over re-materialized slices = %d, want %d", got, want)
+	}
+	if src.ranges.Load() == 0 {
+		t.Fatal("memo computation never touched a re-materialized slice; cap is not forcing eviction")
+	}
+	again := c.Memo("sum/w/0", func() any {
+		computes.Add(1)
+		return sum(v)
+	}).(uint64)
+	if again != want || computes.Load() != 1 {
+		t.Fatalf("second memo call recomputed (%d computes) or differed (%d)", computes.Load(), again)
 	}
 }
 
@@ -262,14 +492,14 @@ func TestNilCacheMemoPassthrough(t *testing.T) {
 
 func TestNilCachePassthrough(t *testing.T) {
 	var c *Cache
-	var calls atomic.Int64
+	src := &source{n: 10}
 	for i := 0; i < 2; i++ {
-		if b := c.Record("w", 0, 10, recorder(10, &calls)); b.Len() != 10 {
+		if v := c.Record("w", 0, 10, src.Source()); v.Len() != 10 {
 			t.Fatal("nil cache must pass recordings through")
 		}
 	}
-	if calls.Load() != 2 {
-		t.Fatalf("nil cache recorded %d times, want 2 (no caching)", calls.Load())
+	if src.records.Load() != 2 {
+		t.Fatalf("nil cache recorded %d times, want 2 (no caching)", src.records.Load())
 	}
 	if st := c.Stats(); st != (Stats{}) {
 		t.Fatalf("nil cache stats = %+v, want zero", st)
@@ -278,9 +508,9 @@ func TestNilCachePassthrough(t *testing.T) {
 
 func TestStatsRendering(t *testing.T) {
 	c := New(1 << 20)
-	var calls atomic.Int64
-	c.Record("w", 0, 10, recorder(10, &calls))
-	c.Record("w", 0, 10, recorder(10, &calls))
+	src := &source{n: 10}
+	c.Record("w", 0, 10, src.Source())
+	c.Record("w", 0, 10, src.Source())
 	st := c.Stats()
 	if st.String() == "" {
 		t.Fatal("empty String rendering")
@@ -291,5 +521,8 @@ func TestStatsRendering(t *testing.T) {
 	}
 	if tab.Rows[0][0] != "1" || tab.Rows[0][2] != "1" {
 		t.Fatalf("stats table row = %v, want hits=1 misses=1", tab.Rows[0])
+	}
+	if len(tab.Headers) != len(tab.Rows[0]) {
+		t.Fatalf("table has %d headers but %d cells", len(tab.Headers), len(tab.Rows[0]))
 	}
 }

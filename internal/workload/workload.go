@@ -76,6 +76,24 @@ func (s *Spec) RecordSharded(input int, budget uint64, pool *engine.Pool, shards
 	return program.RecordSharded(s.seed(input), budget, s.Payload(input), pool, shards)
 }
 
+// RecordSlices materializes the same trace Record produces as
+// independently owned arrays of sliceLen instructions each — the
+// slice-granular trace cache's ingest path (program.RecordSlices).
+// Concatenated, the arrays are byte-identical to Record at any
+// (sliceLen, shards) combination.
+func (s *Spec) RecordSlices(input int, budget, sliceLen uint64, pool *engine.Pool, shards int) [][]trace.Inst {
+	return program.RecordSlices(s.seed(input), budget, s.Payload(input), sliceLen, pool, shards)
+}
+
+// RecordRange re-materializes instructions [lo, hi) of one input's
+// trace at the given budget (program.RecordRange): the trace replays
+// deterministically from its seed, the prefix is skimmed without being
+// stored, and only the requested window allocates. Byte-identical to
+// the same range of Record's output.
+func (s *Spec) RecordRange(input int, budget, lo, hi uint64) []trace.Inst {
+	return program.RecordRange(s.seed(input), budget, s.Payload(input), lo, hi)
+}
+
 // SPECint2017Like returns the nine-benchmark suite modeled on Table I
 // (603.gcc_s is excluded there and appears in the LCF suite, as in the
 // paper).

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR3.json,
-# and diff the replay-loop benchmarks against the PR2 baseline so
-# regressions in the block pipeline fail loudly.
+# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR4.json,
+# and diff the replay-loop benchmarks against the previous PR's
+# committed baseline (BENCH_PR3.json) so regressions in the block
+# pipeline fail loudly.
 #
 # Tracked benchmarks (the perf trajectory of the replay refactors):
 #   BenchmarkRunAll/cache={off,on}      - full `-run all` registry, uncached vs cached
 #   BenchmarkCoreRun/observers={off,on} - block replay loop, fast path vs fan-out
 #   BenchmarkCoreRun/perinst-reference  - pre-block per-instruction loop (baseline)
 #   BenchmarkTraceCacheHit              - cache serve-from-memory cost
+#   BenchmarkTraceCacheSlicedReplay/{resident,evicted}
+#                                       - slice-cache replay: zero-copy resident
+#                                         serving vs forced-eviction re-record;
+#                                         the evicted run also reports peak
+#                                         accounted residency (must stay below
+#                                         one whole-trace footprint)
 #   BenchmarkFig5Parallel/workers=N     - engine scaling (meaningful on multi-core hosts)
 #   BenchmarkRecordSharded/shards=N     - sharded deterministic trace recording
 #
@@ -20,7 +27,7 @@
 #      regressions, meaningful on any machine. Enforced when both
 #      samples averaged >= 3 iterations (BENCHTIME >= 3x); a
 #      single-iteration sample only reports.
-#   2. Cross-run diff vs the committed BENCH_PR2.json baseline:
+#   2. Cross-run diff vs the committed BENCH_PR3.json baseline:
 #      printed for trend tracking; it only FAILS when BASELINE_GATE=1,
 #      because absolute ns/op from a different host (e.g. a CI runner
 #      vs the machine that recorded the baseline) cannot gate
@@ -34,11 +41,11 @@
 #   BASELINE_GATE=1 REGRESSION_MAX=1.3 ...   # enforce the baseline diff
 #   BASELINE=/dev/null scripts/bench.sh      # skip the baseline diff
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 benchtime="${BENCHTIME:-1s}"
-baseline="${BASELINE:-BENCH_PR2.json}"
+baseline="${BASELINE:-BENCH_PR3.json}"
 regmax="${REGRESSION_MAX:-1.30}"
 blockmax="${BLOCK_MAX:-1.25}"
 basegate="${BASELINE_GATE:-0}"
@@ -46,7 +53,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
+  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$|BenchmarkTraceCacheSlicedReplay$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
   -benchtime "$benchtime" . | tee "$raw" >&2
 
 awk -v benchtime="$benchtime" '
@@ -88,16 +95,18 @@ if [ -n "$block_ns" ] && [ -n "$ref_ns" ]; then
   fi
 fi
 
-# 2. Cross-run diff vs the committed baseline (RunAll, CoreRun; the
-# other benchmarks are new in this PR or sub-microsecond). Printed for
-# trend tracking; enforced only with BASELINE_GATE=1 since absolute
-# ns/op only compare on the host that recorded the baseline.
+# 2. Cross-run diff vs the committed baseline (RunAll, CoreRun,
+# RecordSharded; the other benchmarks are new in this PR or, like
+# TraceCacheHit, measure a path whose work changed shape between PRs
+# and so have no comparable baseline). Printed for trend tracking;
+# enforced only with BASELINE_GATE=1 since absolute ns/op only compare
+# on the host that recorded the baseline.
 if [ -f "$baseline" ]; then
   status=0
   echo "diff vs $baseline (informational unless BASELINE_GATE=1; max ${regmax}x):" >&2
   while read -r name ns; do
     case "$name" in
-      BenchmarkRunAll/*|BenchmarkCoreRun/observers=*) ;;
+      BenchmarkRunAll/*|BenchmarkCoreRun/observers=*|BenchmarkRecordSharded/*) ;;
       *) continue ;;
     esac
     base_ns="$(parse "$baseline" | awk -v n="$name" '$1 == n { print $2 }')"
