@@ -7,6 +7,7 @@ import (
 
 	"branchlab"
 	"branchlab/internal/experiments"
+	"branchlab/internal/program"
 	"branchlab/internal/report"
 	"branchlab/internal/tage"
 	"branchlab/internal/tracecache"
@@ -247,6 +248,61 @@ func BenchmarkTraceCacheSlicedReplay(b *testing.B) {
 			}
 			b.ReportMetric(float64(peak)/(1<<20), "peak-resident-MiB")
 		})
+	}
+}
+
+// BenchmarkEvictedRefill measures the trace cache's evicted-slice
+// refill in its two regimes: the skim path (regenerate the whole
+// prefix, then the window — O(prefix + window)) against the checkpoint
+// path (resume from the nearest stored checkpoint — O(window)), for a
+// window near the front of the trace and one at its end. The contract
+// under test is position independence: ckpt/first and ckpt/last must
+// coincide while skim/last scales with the trace length — the refill
+// asymmetry that capped how aggressively the slice cache could evict.
+// The skim/ckpt ratio at pos=last is recorded in EXPERIMENTS.md and
+// BENCH_PR5.json.
+func BenchmarkEvictedRefill(b *testing.B) {
+	const budget = 2_000_000
+	const window = 1 << 15
+	spec, _ := branchlab.Workload("605.mcf_s")
+	// One checkpointed recording, as the cache performs on a miss; the
+	// header's checkpoint list is what the refills below resume from.
+	_, cks := spec.RecordSlices(0, budget, window, nil, 1, window)
+	if len(cks) == 0 {
+		b.Fatal("workload captured no checkpoints")
+	}
+	for _, pos := range []struct {
+		name string
+		lo   uint64
+	}{
+		// Captures land at the first safe point after each multiple of
+		// the spacing, so the earliest window with a checkpoint at or
+		// below it starts at 2*window; lo = window would find none and
+		// both modes would skim.
+		{"first", 2 * window},
+		{"last", budget - window},
+	} {
+		for _, mode := range []string{"skim", "ckpt"} {
+			b.Run(fmt.Sprintf("mode=%s/pos=%s", mode, pos.name), func(b *testing.B) {
+				b.SetBytes(window)
+				for i := 0; i < b.N; i++ {
+					var got []branchlab.Inst
+					if mode == "skim" {
+						got = spec.RecordRange(0, budget, pos.lo, pos.lo+window)
+					} else {
+						ck := program.NearestCheckpoint(cks, pos.lo)
+						var err error
+						got, err = spec.RecordRangeFrom(0, budget, ck, pos.lo, pos.lo+window)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					if uint64(len(got)) != window {
+						b.Fatalf("refill returned %d insts, want %d", len(got), window)
+					}
+				}
+			})
+		}
 	}
 }
 

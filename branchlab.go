@@ -34,6 +34,7 @@ import (
 	"branchlab/internal/experiments"
 	"branchlab/internal/phase"
 	"branchlab/internal/pipeline"
+	"branchlab/internal/program"
 	"branchlab/internal/simpoint"
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
@@ -59,6 +60,12 @@ type (
 	Replayable = trace.Replayable
 	// Kind classifies instructions.
 	Kind = trace.Kind
+	// TraceCheckpoint is a resume point of one workload generation,
+	// captured at payload safe points during a checkpointed recording:
+	// the trace cache stores these in its permanent headers and resumes
+	// evicted-slice refills from them in O(window) instead of skimming
+	// the prefix.
+	TraceCheckpoint = program.Checkpoint
 )
 
 // Predictor interfaces and implementations.
@@ -206,18 +213,18 @@ func NewSlicedTraceCache(maxBytes int64, sliceInsts uint64) *TraceCache {
 }
 
 // RecordTraceCached is RecordTrace through a shared cache: it records on
-// the first request for (spec, input) and serves replayable views from
-// memory afterwards, re-materializing any slice the cache cap evicted
-// (byte-identically) on demand. A nil cache degrades to RecordTrace.
+// the first request for (spec, input, budget) and serves replayable
+// views from memory afterwards, re-materializing any slice the cache
+// cap evicted (byte-identically) on demand. The recording captures one
+// payload checkpoint per cache slice, so a refill resumes from the
+// nearest checkpoint below the missing window instead of regenerating
+// the whole prefix. Workload traces are budget-sensitive (their static
+// structure scales with the budget), so each requested budget is its
+// own cache entry, never a truncated prefix of a larger recording. A
+// nil cache degrades to RecordTrace.
 func RecordTraceCached(c *TraceCache, spec *WorkloadSpec, input int, budget uint64) Replayable {
-	return c.Record(spec.Name, input, budget, tracecache.Source{
-		Record: func(sliceLen uint64) [][]Inst {
-			return spec.RecordSlices(input, budget, sliceLen, nil, 1)
-		},
-		Range: func(lo, hi uint64) []Inst {
-			return spec.RecordRange(input, budget, lo, hi)
-		},
-	})
+	return c.Record(spec.Name, input, budget,
+		spec.CacheSource(input, budget, nil, 1, workload.CkptPerCacheSlice))
 }
 
 // SkylakeConfig returns the baseline pipeline configuration; scale it

@@ -7,7 +7,7 @@
 //	bpsim -workload 605.mcf_s -predictor tage-sc-l-8 -budget 2000000
 //	bpsim -workload game -predictor tage-sc-l-64 -pipeline 4
 //	bpsim -workload game -pipeline 1,4,16 -parallel 3
-//	bpsim -workload game -pipeline 1,4,16 -tracecache 64 -cacheslice 65536
+//	bpsim -workload game -pipeline 1,4,16 -tracecache 64 -cacheslice 65536 -ckptslice 65536
 //	bpsim -workload game -budget 8000000 -recshards 4
 //	bpsim -trace trace.blt -predictor gshare
 //	bpsim -list
@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"branchlab/internal/cliutil"
 	"branchlab/internal/core"
 	"branchlab/internal/engine"
 	"branchlab/internal/pipeline"
@@ -45,8 +46,9 @@ func main() {
 		pipeScales   = flag.String("pipeline", "", "pipeline scale(s), comma-separated (empty = accuracy only)")
 		parallel     = flag.Int("parallel", 0, "engine workers for the pipeline sweep (0 = NumCPU)")
 		recShards    = flag.Int("recshards", 0, "record the workload trace on this many workers (<= 1 = sequential; byte-identical)")
-		cacheMB      = flag.Int64("tracecache", 0, "trace cache cap in MiB for multi-scale sweeps (0 = unbounded; evicted slices re-record byte-identically)")
+		cacheMB      = flag.Int64("tracecache", 0, "trace cache cap in MiB (0 = unbounded; evicted slices re-record byte-identically); setting it forces caching even for single-scale runs")
 		cacheSlice   = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
+		ckptSlice    = flag.Uint64("ckptslice", tracecache.DefaultSliceInsts, "payload checkpoint spacing in instructions for O(window) evicted-slice refills (0 = no checkpoints)")
 		cacheStats   = tracecache.StatsFlag(nil)
 		list         = flag.Bool("list", false, "list workloads and predictors")
 		top          = flag.Int("top", 0, "print the top-N mispredicting branches")
@@ -55,6 +57,7 @@ func main() {
 	topN = *top
 	cacheCap = *cacheMB << 20
 	cacheSliceInsts = *cacheSlice
+	ckptSliceInsts = *ckptSlice
 	printCacheStats = *cacheStats
 
 	if *list {
@@ -77,6 +80,40 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
+	}
+	// The workload cache exists for multi-scale sweeps, sharded
+	// recording, and whenever -tracecache is explicitly provided (see
+	// run); geometry flags outside those combinations would be silently
+	// ignored, so they are rejected instead.
+	cacheForced = cliutil.Provided(nil, "tracecache")
+	cacheWillExist := *traceFile == "" && (len(scales) > 1 || *recShards > 1 || cacheForced)
+	if err := (cliutil.RunFlags{
+		Budget:        *budget,
+		SliceLen:      *sliceLen,
+		Parallel:      *parallel,
+		RecShards:     *recShards,
+		CacheEnabled:  cacheWillExist,
+		CacheSliceSet: cliutil.Provided(nil, "cacheslice"),
+		CkptSliceSet:  cliutil.Provided(nil, "ckptslice"),
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsim:", err)
+		os.Exit(1)
+	}
+	if *traceFile != "" {
+		// Flags that parameterize workload synthesis are meaningless —
+		// and were silently ignored — against a recorded trace file.
+		if *workloadName != "" {
+			fmt.Fprintln(os.Stderr, "bpsim: -trace and -workload are mutually exclusive; choose one input")
+			os.Exit(1)
+		}
+		if *recShards > 1 {
+			fmt.Fprintln(os.Stderr, "bpsim: -recshards shards workload synthesis and has no effect with -trace")
+			os.Exit(1)
+		}
+		if cacheForced {
+			fmt.Fprintln(os.Stderr, "bpsim: -tracecache caches workload recordings and has no effect with -trace (files re-open and stream)")
+			os.Exit(1)
+		}
 	}
 	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, scales, *parallel, *recShards); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
@@ -106,6 +143,8 @@ var (
 	topN            int
 	cacheCap        int64
 	cacheSliceInsts uint64
+	ckptSliceInsts  uint64
+	cacheForced     bool // -tracecache explicitly provided
 	printCacheStats bool
 )
 
@@ -118,14 +157,16 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 	// Multi-scale workload sweeps record the trace once through the
 	// cache and replay it for the accuracy pass and every pipeline
 	// scale; -recshards opts the recording itself into sharded
-	// generation (byte-identical, so it also forces materialization).
-	// The cache is slice-granular: with a -tracecache cap the sweep's
-	// memory is bounded by the live slices, and any evicted slice
-	// re-records deterministically when a replay reaches it.
-	// Accuracy-only and single-scale runs otherwise stream at O(1)
-	// memory (the budget can be arbitrarily large), as do trace files.
+	// generation (byte-identical, so it also forces materialization),
+	// and an explicit -tracecache opts in directly (the flag must never
+	// be silently ignored). The cache is slice-granular: with a
+	// -tracecache cap the sweep's memory is bounded by the live slices,
+	// and any evicted slice re-records deterministically when a replay
+	// reaches it. Accuracy-only and single-scale runs otherwise stream
+	// at O(1) memory (the budget can be arbitrarily large), as do trace
+	// files.
 	var cache *tracecache.Cache
-	if traceFile == "" && (len(pipeScales) > 1 || recShards > 1) {
+	if traceFile == "" && (len(pipeScales) > 1 || recShards > 1 || cacheForced) {
 		cache = tracecache.NewSliced(cacheCap, cacheSliceInsts)
 	}
 	open := func() (trace.Stream, func(), error) {
@@ -144,14 +185,8 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 			s := spec.Stream(input, budget)
 			return s, func() { trace.CloseStream(s) }, nil
 		}
-		tr := cache.Record(spec.Name, input, budget, tracecache.Source{
-			Record: func(sliceLen uint64) [][]trace.Inst {
-				return spec.RecordSlices(input, budget, sliceLen, engine.New(parallel), recShards)
-			},
-			Range: func(lo, hi uint64) []trace.Inst {
-				return spec.RecordRange(input, budget, lo, hi)
-			},
-		})
+		tr := cache.Record(spec.Name, input, budget,
+			spec.CacheSource(input, budget, engine.New(parallel), recShards, ckptSliceInsts))
 		return tr.Stream(), func() {}, nil
 	}
 

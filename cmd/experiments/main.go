@@ -22,10 +22,14 @@
 // evicts cold fixed-size slices of a trace rather than whole
 // recordings, and an evicted slice re-records deterministically the
 // next time a replay reaches it, so a capped cache stays byte-identical
-// to an unbounded one. Cache counters print to stderr behind
-// -cachestats, keeping stdout diff-able. -recshards N records each
-// trace on N workers (sharded deterministic recording); output stays
-// byte-identical in every combination of flags.
+// to an unbounded one. -ckptslice sets the payload checkpoint spacing
+// captured during first recording (0 = none): with checkpoints in the
+// cache header an evicted slice refills in O(window) by resuming from
+// the nearest checkpoint instead of regenerating the whole prefix.
+// Cache counters print to stderr behind -cachestats, keeping stdout
+// diff-able. -recshards N records each trace on N workers (sharded
+// deterministic recording); output stays byte-identical in every
+// combination of flags.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"branchlab/internal/cliutil"
 	"branchlab/internal/experiments"
 	"branchlab/internal/tracecache"
 )
@@ -48,6 +53,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "engine workers per experiment (0 = NumCPU)")
 		cacheMB  = flag.Int64("tracecache", 4096, "shared trace cache size in MiB (-1 = unbounded, 0 = off)")
 		cacheSl  = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
+		ckptSl   = flag.Uint64("ckptslice", tracecache.DefaultSliceInsts, "payload checkpoint spacing in instructions for O(window) evicted-slice refills (0 = no checkpoints)")
 		shards   = flag.Int("recshards", 0, "record each trace on this many workers (<= 1 = sequential; output is byte-identical)")
 		stats    = tracecache.StatsFlag(nil)
 	)
@@ -73,6 +79,27 @@ func main() {
 	cfg.Workers = *parallel
 	cfg.RecordShards = *shards
 	cfg.CacheSlice = *cacheSl
+	cfg.CkptSlice = *ckptSl
+	// An explicit zero override is a user error, not "use the default".
+	effBudget, effSlice := cfg.Budget, cfg.SliceLen
+	if cliutil.Provided(nil, "budget") {
+		effBudget = *budget
+	}
+	if cliutil.Provided(nil, "slice") {
+		effSlice = *slice
+	}
+	if err := (cliutil.RunFlags{
+		Budget:        effBudget,
+		SliceLen:      effSlice,
+		Parallel:      *parallel,
+		RecShards:     *shards,
+		CacheEnabled:  *cacheMB != 0,
+		CacheSliceSet: cliutil.Provided(nil, "cacheslice"),
+		CkptSliceSet:  cliutil.Provided(nil, "ckptslice"),
+	}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	if *cacheMB != 0 {
 		limit := *cacheMB << 20
 		if limit < 0 {

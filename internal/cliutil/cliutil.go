@@ -1,0 +1,71 @@
+// Package cliutil holds the flag plumbing cmd/experiments and
+// cmd/bpsim share: validation of the recording/caching knobs whose
+// silent misbehaviour used to be easy to trigger — -cacheslice or
+// -ckptslice without an enabled trace cache (silently ignored), zero
+// budgets or slice lengths (downstream division panics), and
+// -recshards oversubscribing an explicit -parallel worker count.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+)
+
+// RunFlags are the effective (post-default, post-override) values of
+// the shared recording/caching knobs of one CLI invocation, plus
+// whether the cache-geometry flags were explicitly provided (defaults
+// never error; explicit flags that would be ignored do).
+type RunFlags struct {
+	Budget    uint64 // instruction budget of the run
+	SliceLen  uint64 // screening/phase slice length
+	Parallel  int    // engine workers (0 = NumCPU)
+	RecShards int    // sharded-recording worker count (<= 1 = sequential)
+
+	CacheEnabled  bool // a trace cache will exist in this invocation
+	CacheSliceSet bool // -cacheslice explicitly provided
+	CkptSliceSet  bool // -ckptslice explicitly provided
+}
+
+// Validate rejects flag combinations that would silently misbehave.
+// It returns the first problem found, phrased for the terminal.
+func (f RunFlags) Validate() error {
+	if f.Budget == 0 {
+		return fmt.Errorf("-budget must be > 0")
+	}
+	if f.SliceLen == 0 {
+		return fmt.Errorf("-slice must be > 0 (slice-keyed screening divides by it)")
+	}
+	if f.Parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 selects NumCPU)")
+	}
+	if f.RecShards < 0 {
+		return fmt.Errorf("-recshards must be >= 0")
+	}
+	if f.RecShards > 1 && f.Parallel > 0 && f.RecShards > f.Parallel {
+		return fmt.Errorf("-recshards %d exceeds the -parallel %d worker pool: shards would queue, not run concurrently; raise -parallel or lower -recshards",
+			f.RecShards, f.Parallel)
+	}
+	if f.CacheSliceSet && !f.CacheEnabled {
+		return fmt.Errorf("-cacheslice has no effect without an enabled trace cache (enable -tracecache)")
+	}
+	if f.CkptSliceSet && !f.CacheEnabled {
+		return fmt.Errorf("-ckptslice has no effect without an enabled trace cache (checkpoints live in cache headers; enable -tracecache)")
+	}
+	return nil
+}
+
+// Provided reports whether the named flag was explicitly set on the
+// command line (as opposed to holding its default). fs == nil checks
+// flag.CommandLine; call after flag.Parse.
+func Provided(fs *flag.FlagSet, name string) bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

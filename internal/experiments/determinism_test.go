@@ -147,16 +147,23 @@ func TestSliceEvictionRunAllByteIdentical(t *testing.T) {
 		name       string
 		capInsts   int64 // cap in instructions' worth of slice bytes
 		sliceInsts uint64
+		ckptInsts  uint64 // checkpoint spacing (0 = skim-only refills)
 		workers    int
 	}{
-		{"cap=2slices/slice=25k", 50_000, 25_000, 1},
-		{"cap=1slice/slice=40k", 40_000, 40_000, 1},
-		{"cap=2slices/slice=25k/parallel", 50_000, 25_000, parallelWorkers()},
+		{"cap=2slices/slice=25k", 50_000, 25_000, 0, 1},
+		{"cap=1slice/slice=40k", 40_000, 40_000, 0, 1},
+		{"cap=2slices/slice=25k/parallel", 50_000, 25_000, 0, parallelWorkers()},
+		// Checkpointed refills: resume-from-checkpoint must be as
+		// byte-invisible as the skim path it replaces, at a spacing
+		// matching the slice size and at an unaligned one.
+		{"cap=2slices/slice=25k/ckpt=25k", 50_000, 25_000, 25_000, 1},
+		{"cap=2slices/slice=25k/ckpt=10k/parallel", 50_000, 25_000, 10_000, parallelWorkers()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			capped := cfg
 			capped.Workers = tc.workers
 			capped.CacheSlice = tc.sliceInsts
+			capped.CkptSlice = tc.ckptInsts
 			capped.Cache = tracecache.NewSliced(tc.capInsts*instBytes, tc.sliceInsts)
 			if got := runAll(capped); got != want {
 				t.Errorf("capped slice-cache artifacts differ from uncached reference")
@@ -164,6 +171,12 @@ func TestSliceEvictionRunAllByteIdentical(t *testing.T) {
 			st := capped.Cache.Stats()
 			if st.SliceEvictions == 0 || st.SliceRerecords == 0 {
 				t.Fatalf("cap forced no slice eviction/re-record (stats %+v); the regime under test did not engage", st)
+			}
+			if tc.ckptInsts > 0 && st.SliceResumes == 0 {
+				t.Fatalf("checkpointed run resumed no refill from a checkpoint (stats %+v); the regime under test did not engage", st)
+			}
+			if tc.ckptInsts == 0 && st.SliceResumes != 0 {
+				t.Fatalf("checkpoint-free run somehow resumed %d refills", st.SliceResumes)
 			}
 			if st.BytesInUse > st.CapBytes {
 				t.Errorf("resident bytes %d exceed cap %d", st.BytesInUse, st.CapBytes)

@@ -56,6 +56,16 @@ type Config struct {
 	// through NewCache so the configured geometry is the one the cache
 	// actually evicts and re-materializes at.
 	CacheSlice uint64
+
+	// CkptSlice is the payload checkpoint spacing in instructions
+	// captured during first recording (0 = no checkpoints). With
+	// checkpoints in the cache header, an evicted-slice refill resumes
+	// from the nearest checkpoint at or below the missing window —
+	// O(window) instead of O(prefix + window) — and sharded
+	// re-recording needs no overlapping prefix skims. Checkpoints never
+	// change a trace byte: checkpointed and checkpoint-free runs are
+	// byte-identical in every artifact.
+	CkptSlice uint64
 }
 
 // NewCache constructs the shared trace cache for this configuration:
@@ -84,14 +94,8 @@ func (c Config) RecordTrace(s *workload.Spec, input int) trace.Replayable {
 		}
 		return s.Record(input, c.Budget)
 	}
-	return c.Cache.Record(s.Name, input, c.Budget, tracecache.Source{
-		Record: func(sliceLen uint64) [][]trace.Inst {
-			return s.RecordSlices(input, c.Budget, sliceLen, c.Pool(), c.RecordShards)
-		},
-		Range: func(lo, hi uint64) []trace.Inst {
-			return s.RecordRange(input, c.Budget, lo, hi)
-		},
-	})
+	return c.Cache.Record(s.Name, input, c.Budget,
+		s.CacheSource(input, c.Budget, c.Pool(), c.RecordShards, c.CkptSlice))
 }
 
 // Default returns the configuration used for EXPERIMENTS.md.
@@ -103,6 +107,7 @@ func Default() Config {
 		StorageKB:  []int{8, 64, 128, 256, 512, 1024},
 		MaxInputs:  3,
 		CacheSlice: tracecache.DefaultSliceInsts,
+		CkptSlice:  tracecache.DefaultSliceInsts,
 	}
 }
 
@@ -115,6 +120,7 @@ func Quick() Config {
 		StorageKB:  []int{8, 64, 1024},
 		MaxInputs:  2,
 		CacheSlice: tracecache.DefaultSliceInsts,
+		CkptSlice:  tracecache.DefaultSliceInsts,
 	}
 }
 

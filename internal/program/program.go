@@ -13,6 +13,7 @@
 package program
 
 import (
+	"fmt"
 	"sync"
 
 	"branchlab/internal/engine"
@@ -68,6 +69,21 @@ type Emitter struct {
 	segs   [][]trace.Inst
 	done   [][]trace.Inst
 
+	// Checkpointing (see checkpoint.go): with ckptEvery > 0 the emitter
+	// captures a Checkpoint at the first payload safe point at or after
+	// each multiple of ckptEvery, storing only captures at index >=
+	// ckptLo (sharded recorders skim the prefix but store only their own
+	// range). resuming is set while a restored payload state waits for
+	// the payload to claim it via Checkpointable; emitting in that
+	// window is a contract violation and aborts the resume.
+	ckptEvery   uint64
+	nextCkpt    uint64
+	ckptLo      uint64
+	ckpts       []Checkpoint
+	ckptOwner   CheckpointPayload
+	resuming    bool
+	resumeState []uint64
+
 	scratch uint8 // rotating scratch register for filler code
 }
 
@@ -93,6 +109,13 @@ func (e *Emitter) InstCount() uint64 { return e.emitted }
 func (e *Emitter) Budget() uint64 { return e.budget }
 
 func (e *Emitter) emit(inst trace.Inst) {
+	if e.resuming {
+		// A resumed emitter whose payload emits before claiming the
+		// saved state via Checkpointable would silently generate wrong
+		// bytes: the payload restarted from its zero state while the
+		// counters and RNG continued mid-trace. Abort to the skim path.
+		panic(resumeAbort{fmt.Errorf("%w: payload emitted before Checkpointable", ErrBadCheckpoint)})
+	}
 	if e.emitted >= e.budget {
 		return
 	}
@@ -396,33 +419,64 @@ func Record(seed, budget uint64, payload Payload) *trace.Buffer {
 // materializing it, and unwinds as soon as the range is full. The
 // window capacities must sum to at least hi-lo so no append ever
 // reallocates a window.
-func recordSegments(seed, budget uint64, payload Payload, lo, hi uint64, segs [][]trace.Inst) [][]trace.Inst {
+//
+// ckptEvery > 0 additionally captures payload checkpoints within
+// [lo, hi) at that spacing (see checkpoint.go); from != nil resumes
+// the replay at from.At instead of instruction zero — the O(window)
+// refill path — and fails with ErrBadCheckpoint (wrapped) when the
+// checkpoint cannot reproduce the generation, leaving the caller to
+// fall back to a skim from zero.
+func recordSegments(seed, budget uint64, payload Payload, lo, hi uint64, segs [][]trace.Inst, ckptEvery uint64, from *Checkpoint) ([][]trace.Inst, []Checkpoint, error) {
 	e := &Emitter{
-		rng:    xrand.New(seed),
-		budget: budget,
-		baseIP: 0x400000,
-		curIP:  0x400000,
-		skip:   lo,
-		stopAt: hi,
-		direct: segs[0],
-		segs:   segs[1:],
+		rng:       xrand.New(seed),
+		budget:    budget,
+		baseIP:    0x400000,
+		curIP:     0x400000,
+		skip:      lo,
+		stopAt:    hi,
+		direct:    segs[0],
+		segs:      segs[1:],
+		ckptEvery: ckptEvery,
+		nextCkpt:  ckptEvery, // never capture the trivial At=0 state
+		ckptLo:    lo,
 	}
-	func() {
+	if from != nil {
+		if from.At > lo {
+			return nil, nil, fmt.Errorf("%w: captured at %d, past range start %d", ErrBadCheckpoint, from.At, lo)
+		}
+		if err := e.restore(from); err != nil {
+			return nil, nil, err
+		}
+	}
+	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				if _, ok := r.(stopSignal); !ok {
-					panic(r)
+				if _, ok := r.(stopSignal); ok {
+					return
 				}
+				if ra, ok := r.(resumeAbort); ok {
+					err = ra.err
+					return
+				}
+				panic(r)
 			}
 		}()
 		payload(e)
+		if e.resuming {
+			err = fmt.Errorf("%w: payload never registered via Checkpointable", ErrBadCheckpoint)
+		}
+		return
 	}()
-	return append(e.done, e.direct)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append(e.done, e.direct), e.ckpts, nil
 }
 
-// recordRange is recordSegments with a single destination window.
+// recordRange is recordSegments with a single destination window and a
+// skim from zero (no checkpoints involved, never fails).
 func recordRange(seed, budget uint64, payload Payload, lo, hi uint64, dst []trace.Inst) []trace.Inst {
-	out := recordSegments(seed, budget, payload, lo, hi, [][]trace.Inst{dst})
+	out, _, _ := recordSegments(seed, budget, payload, lo, hi, [][]trace.Inst{dst}, 0, nil)
 	return out[len(out)-1]
 }
 
@@ -443,6 +497,34 @@ func RecordRange(seed, budget uint64, payload Payload, lo, hi uint64) []trace.In
 	return recordRange(seed, budget, payload, lo, hi, make([]trace.Inst, 0, hi-lo))
 }
 
+// RecordRangeFrom is RecordRange resuming from ck instead of skimming
+// the prefix: generation starts at ck.At, so the refill costs
+// O(lo-ck.At + window) regardless of lo — O(window) when checkpoints
+// were captured at slice spacing. ck must come from a checkpointed
+// recording of the identical (seed, budget, payload) triple with
+// ck.At <= lo; a nil ck degrades to the skim path. The resumed bytes
+// are byte-identical to the same range of a full recording, or the
+// call fails (wrapping ErrBadCheckpoint, or xrand.ErrZeroState for a
+// zero-value checkpoint) and the caller falls back to RecordRange —
+// wrong bytes are never returned.
+func RecordRangeFrom(seed, budget uint64, payload Payload, ck *Checkpoint, lo, hi uint64) ([]trace.Inst, error) {
+	if hi > budget {
+		hi = budget
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	if ck == nil {
+		return recordRange(seed, budget, payload, lo, hi, make([]trace.Inst, 0, hi-lo)), nil
+	}
+	segs, _, err := recordSegments(seed, budget, payload, lo, hi,
+		[][]trace.Inst{make([]trace.Inst, 0, hi-lo)}, 0, ck)
+	if err != nil {
+		return nil, err
+	}
+	return segs[len(segs)-1], nil
+}
+
 // RecordSharded materializes the same trace Record produces by
 // generating disjoint instruction ranges on pool workers. Worker w
 // replays the payload deterministically from the trace seed, skims
@@ -460,6 +542,20 @@ func RecordRange(seed, budget uint64, payload Payload, lo, hi uint64) []trace.In
 // per-slice generator reseeding — is what keeps the recording
 // byte-identical for arbitrary payloads.
 func RecordSharded(seed, budget uint64, payload Payload, pool *engine.Pool, shards int) *trace.Buffer {
+	return RecordShardedFrom(seed, budget, payload, pool, shards, nil)
+}
+
+// RecordShardedFrom is RecordSharded with a checkpoint list from a
+// prior checkpointed recording of the same (seed, budget, payload)
+// triple: worker w resumes from the nearest checkpoint at or below its
+// range start instead of skimming the prefix, so the shards' work no
+// longer overlaps — re-recording is embarrassingly parallel, each
+// worker generating O(budget/shards) instructions. A worker whose
+// checkpoint cannot resume (or that has none at or below its range)
+// falls back to the skim path, so the assembled buffer is
+// byte-identical to sequential recording for any ckpts, including nil
+// (which is exactly RecordSharded).
+func RecordShardedFrom(seed, budget uint64, payload Payload, pool *engine.Pool, shards int, ckpts []Checkpoint) *trace.Buffer {
 	if pool == nil {
 		pool = engine.New(0)
 	}
@@ -482,6 +578,14 @@ func RecordSharded(seed, budget uint64, payload Payload, pool *engine.Pool, shar
 		}
 		// Each worker appends into its own zero-length, capacity-capped
 		// window of the shared array, so writes stay disjoint.
+		if ck := NearestCheckpoint(ckpts, lo); ck != nil {
+			segs, _, err := recordSegments(seed, budget, payload, lo, hi,
+				[][]trace.Inst{insts[lo:lo:hi]}, 0, ck)
+			if err == nil {
+				return len(segs[len(segs)-1])
+			}
+			// Unusable checkpoint: regenerate the window's prefix below.
+		}
 		return len(recordRange(seed, budget, payload, lo, hi, insts[lo:lo:hi]))
 	})
 	// A payload that returns before exhausting the budget ends every
@@ -514,9 +618,17 @@ func RecordSharded(seed, budget uint64, payload Payload, pool *engine.Pool, shar
 // The concatenated arrays are byte-identical to Record at any
 // (sliceLen, shards) combination: payloads are pure functions of the
 // seed.
-func RecordSlices(seed, budget uint64, payload Payload, sliceLen uint64, pool *engine.Pool, shards int) [][]trace.Inst {
+//
+// ckptEvery > 0 additionally captures payload checkpoints at that
+// spacing (first safe point at or after each multiple; see
+// checkpoint.go), returned sorted by capture index. The capture rule
+// is a pure function of the instruction index, so the checkpoint list
+// is identical at any shard count; a payload that never registers via
+// Emitter.Checkpointable yields an empty list (the fallback consumers
+// detect). ckptEvery == 0 disables capture.
+func RecordSlices(seed, budget uint64, payload Payload, sliceLen uint64, pool *engine.Pool, shards int, ckptEvery uint64) ([][]trace.Inst, []Checkpoint) {
 	if budget == 0 {
-		return nil
+		return nil, nil
 	}
 	if sliceLen == 0 || sliceLen > budget {
 		sliceLen = budget
@@ -540,6 +652,7 @@ func RecordSlices(seed, budget uint64, payload Payload, sliceLen uint64, pool *e
 	}
 
 	out := make([][]trace.Inst, nSlices)
+	var cks []Checkpoint
 	if pool == nil {
 		pool = engine.New(0)
 	}
@@ -547,30 +660,37 @@ func RecordSlices(seed, budget uint64, payload Payload, sliceLen uint64, pool *e
 		shards = nSlices
 	}
 	if shards <= 1 {
-		filled := recordSegments(seed, budget, payload, 0, budget, mkWindows(0, nSlices))
+		filled, c, _ := recordSegments(seed, budget, payload, 0, budget, mkWindows(0, nSlices), ckptEvery, nil)
 		copy(out, filled)
+		cks = c
 	} else {
 		// Shard boundaries align to slice boundaries so every window
 		// belongs to exactly one worker.
 		per := (nSlices + shards - 1) / shards
-		engine.Map(pool, shards, func(w int) int {
+		parts := engine.Map(pool, shards, func(w int) []Checkpoint {
 			s0 := w * per
 			s1 := s0 + per
 			if s1 > nSlices {
 				s1 = nSlices
 			}
 			if s0 >= s1 {
-				return 0
+				return nil
 			}
 			lo := uint64(s0) * sliceLen
 			hi := uint64(s1) * sliceLen
 			if hi > budget {
 				hi = budget
 			}
-			filled := recordSegments(seed, budget, payload, lo, hi, mkWindows(s0, s1))
+			filled, c, _ := recordSegments(seed, budget, payload, lo, hi, mkWindows(s0, s1), ckptEvery, nil)
 			copy(out[s0:s1], filled)
-			return len(filled)
+			return c
 		})
+		// Workers capture within disjoint ascending ranges under the
+		// same index-driven rule, so concatenation in worker order is
+		// the sequential capture list.
+		for _, p := range parts {
+			cks = append(cks, p...)
+		}
 	}
 	// A payload that returns before exhausting the budget ends every
 	// replica at the same deterministic point: the first short slice is
@@ -578,10 +698,10 @@ func RecordSlices(seed, budget uint64, payload Payload, sliceLen uint64, pool *e
 	for si, sl := range out {
 		if uint64(len(sl)) < capOf(si) {
 			if len(sl) == 0 {
-				return out[:si]
+				return out[:si], cks
 			}
-			return out[:si+1]
+			return out[:si+1], cks
 		}
 	}
-	return out
+	return out, cks
 }

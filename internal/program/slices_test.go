@@ -26,7 +26,7 @@ func TestRecordSlicesByteIdentical(t *testing.T) {
 	pool := engine.New(4)
 	for _, sliceLen := range []uint64{0, 1000, 4096, 7777, budget, budget * 2} {
 		for _, shards := range []int{1, 2, 3, 7} {
-			arrs := RecordSlices(42, budget, countingPayload, sliceLen, pool, shards)
+			arrs, _ := RecordSlices(42, budget, countingPayload, sliceLen, pool, shards, 0)
 			label := "sliceLen=" + itoa(int(sliceLen)) + "/shards=" + itoa(shards)
 			assertSameBuffer(t, joinSlices(arrs), want, label)
 			eff := sliceLen
@@ -56,13 +56,13 @@ func TestRecordSlicesEarlyReturn(t *testing.T) {
 	}
 	pool := engine.New(3)
 	for _, shards := range []int{1, 2, 4, 9} {
-		arrs := RecordSlices(9, budget, earlyPayload, 1000, pool, shards)
+		arrs, _ := RecordSlices(9, budget, earlyPayload, 1000, pool, shards, 0)
 		assertSameBuffer(t, joinSlices(arrs), want, "early/shards="+itoa(shards))
 	}
 }
 
 func TestRecordSlicesZeroBudget(t *testing.T) {
-	if arrs := RecordSlices(1, 0, countingPayload, 100, engine.New(2), 4); len(arrs) != 0 {
+	if arrs, _ := RecordSlices(1, 0, countingPayload, 100, engine.New(2), 4, 0); len(arrs) != 0 {
 		t.Fatalf("zero budget recorded %d slices", len(arrs))
 	}
 }

@@ -25,13 +25,25 @@
 // prefix without storing it, fill only the missing window), so sharing
 // and eviction stay byte-invisible to every driver.
 //
+// Refills resume from checkpoints when the recording captured them
+// (Source.Record's second return): the permanent header keeps the
+// checkpoint list, and a refill resumes from the nearest checkpoint at
+// or below the missing window (Source.Resume) instead of skimming the
+// whole prefix — O(window) instead of O(prefix + window). A checkpoint
+// that cannot resume (or a payload that captured none) falls back to
+// the skim path; Stats separates the two regimes (SliceResumes vs
+// SliceSkims).
+//
 // Prefix serving is a truncation of the longer recording — the first b
 // instructions of the same program run — not a re-synthesis at the
 // smaller budget. Generators may scale static structure with the budget
-// (see program.Emitter.Budget), so the two differ in general; within one
+// (see program.Emitter.Budget), so the two differ in general: sources
+// for such payloads must declare Source.BudgetSensitive, which keys
+// their entries on the budget and turns a smaller-budget request into
+// its own recording rather than a wrong truncated prefix. Within one
 // experiments invocation every driver records at the same configured
-// budget, which keeps `-run all` output byte-identical to uncached runs
-// while recording each (workload, input, max-budget) trace exactly once.
+// budget, so either keying records each (workload, input) trace exactly
+// once and `-run all` output stays byte-identical to uncached runs.
 //
 // Counters are exposed as report-friendly Stats for the CLIs to print
 // to stderr (WriteStats, behind the shared -cachestats flag).
@@ -45,6 +57,7 @@ import (
 	"sync"
 	"unsafe"
 
+	"branchlab/internal/program"
 	"branchlab/internal/report"
 	"branchlab/internal/trace"
 )
@@ -58,28 +71,49 @@ const instBytes = int64(unsafe.Sizeof(trace.Inst{}))
 // tracks a driver's slice-shaped working set instead of whole traces.
 const DefaultSliceInsts = 1 << 18
 
-// Source materializes one deterministic trace for the cache. Both
+// Source materializes one deterministic trace for the cache. All
 // callbacks must derive from the same (generator, seed, budget) triple:
-// Range(lo, hi) must reproduce exactly the bytes Record put at [lo, hi).
+// Range(lo, hi) and Resume(ck, lo, hi) must reproduce exactly the
+// bytes Record put at [lo, hi).
 type Source struct {
 	// Record materializes the whole trace as consecutive, independently
 	// owned arrays of sliceLen instructions each (the last may be
-	// shorter; sliceLen == 0 or >= the trace length means one array).
-	// Called once per cache miss, outside the cache lock.
-	Record func(sliceLen uint64) [][]trace.Inst
+	// shorter; sliceLen == 0 or >= the trace length means one array),
+	// plus any payload checkpoints captured along the way (sorted by
+	// capture index; empty for non-checkpointable payloads). Called
+	// once per cache miss, outside the cache lock.
+	Record func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint)
 
-	// Range re-materializes instructions [lo, hi) of the same trace —
-	// the evicted-slice refill path. nil disables slice granularity for
-	// this trace: it is cached as a single slice and evicts whole.
+	// Range re-materializes instructions [lo, hi) of the same trace by
+	// skimming the prefix — the refill path of last resort. nil
+	// disables slice granularity for this trace: it is cached as a
+	// single slice and evicts whole.
 	Range func(lo, hi uint64) []trace.Inst
+
+	// Resume re-materializes instructions [lo, hi) starting from a
+	// checkpoint Record captured (ck.At <= lo), making the refill cost
+	// independent of lo. An error (a checkpoint that cannot resume)
+	// falls back to Range; wrong bytes are never served. nil disables
+	// checkpoint resume for this trace.
+	Resume func(ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error)
+
+	// BudgetSensitive declares that the payload's static structure
+	// scales with the recording budget, so a shorter trace is NOT a
+	// prefix of a longer one (see workload.Spec.BudgetSensitive). The
+	// cache then keys this trace on (name, input, budget) and never
+	// serves it as a truncated prefix of a different budget.
+	BudgetSensitive bool
 }
 
-// key identifies one recordable trace. Budget is deliberately not part
-// of the key: one entry per (workload, input) holds the largest budget
-// recorded so far and serves smaller budgets as prefixes.
+// key identifies one recordable trace. For budget-insensitive sources
+// budget stays zero and one entry per (workload, input) holds the
+// largest budget recorded so far, serving smaller budgets as prefixes;
+// budget-sensitive sources carry their budget in the key, because for
+// them a prefix of a longer recording is not the same trace.
 type key struct {
-	name  string
-	input int
+	name   string
+	input  int
+	budget uint64
 }
 
 // entry is the header of one cached (or in-flight) recording: identity,
@@ -91,8 +125,30 @@ type entry struct {
 	total    uint64 // instructions actually recorded (== budget unless the payload ended early)
 	sliceLen uint64 // slice granularity of this entry (== total extent when whole-trace)
 	slices   []*sliceEnt
-	rng      func(lo, hi uint64) []trace.Inst // deterministic refill for [lo, hi)
-	ready    chan struct{}                    // closed when slices/total are set
+	rng      func(lo, hi uint64) []trace.Inst // deterministic skim refill for [lo, hi)
+	// Checkpoint machinery: ckpts (sorted by At, captured during the
+	// first recording) and resume make refills O(window). Both may be
+	// empty/nil — the skim path is always available. Checkpoints live
+	// in the permanent header: a few hundred words per trace, exempt
+	// from the LRU cap like the header itself.
+	ckpts  []program.Checkpoint
+	resume func(ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error)
+	ready  chan struct{} // closed when slices/total are set
+}
+
+// refill re-materializes [lo, hi), resuming from the nearest
+// checkpoint when possible and reporting which regime served it.
+// Called without the cache lock held.
+func (e *entry) refill(lo, hi uint64) (data []trace.Inst, resumed bool) {
+	if e.resume != nil {
+		if ck := program.NearestCheckpoint(e.ckpts, lo); ck != nil {
+			if data, err := e.resume(ck, lo, hi); err == nil {
+				return data, true
+			}
+			// An unusable checkpoint degrades to the exact skim path.
+		}
+	}
+	return e.rng(lo, hi), false
 }
 
 // sliceEnt is one independently accounted, independently evictable
@@ -126,7 +182,9 @@ type Stats struct {
 	Misses    uint64 // initiated a full recording (== recordings performed)
 
 	SliceHits      uint64 // slice ranges served from resident arrays
-	SliceRerecords uint64 // evicted slices re-materialized on demand
+	SliceRerecords uint64 // evicted slices re-materialized on demand (resumes + skims)
+	SliceResumes   uint64 // re-materializations resumed from a checkpoint (O(window))
+	SliceSkims     uint64 // re-materializations that skimmed the prefix (O(prefix + window))
 	SliceEvictions uint64 // slices dropped by the LRU memory cap
 
 	Entries    int   // trace headers resident (completed recordings)
@@ -142,7 +200,7 @@ type Stats struct {
 func (s Stats) Table() *report.Table {
 	t := report.NewTable("trace cache",
 		"hits", "coalesced", "misses",
-		"slice hits", "re-records", "evictions",
+		"slice hits", "re-records", "ckpt resumes", "skim refills", "evictions",
 		"traces", "slices", "MiB in use", "MiB cap",
 		"memo hits", "memo misses")
 	capMiB := "unbounded"
@@ -155,6 +213,8 @@ func (s Stats) Table() *report.Table {
 		fmt.Sprintf("%d", s.Misses),
 		fmt.Sprintf("%d", s.SliceHits),
 		fmt.Sprintf("%d", s.SliceRerecords),
+		fmt.Sprintf("%d", s.SliceResumes),
+		fmt.Sprintf("%d", s.SliceSkims),
 		fmt.Sprintf("%d", s.SliceEvictions),
 		fmt.Sprintf("%d", s.Entries),
 		fmt.Sprintf("%d", s.Slices),
@@ -167,9 +227,10 @@ func (s Stats) Table() *report.Table {
 
 // String is a single-line rendering of the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d coalesced=%d misses=%d slices=%d/%d sliceops=%d/%d/%d bytes=%d memo=%d/%d",
+	return fmt.Sprintf("hits=%d coalesced=%d misses=%d slices=%d/%d sliceops=%d/%d/%d refills=%d/%d bytes=%d memo=%d/%d",
 		s.Hits, s.Coalesced, s.Misses, s.Slices, s.Entries,
-		s.SliceHits, s.SliceRerecords, s.SliceEvictions, s.BytesInUse,
+		s.SliceHits, s.SliceRerecords, s.SliceEvictions,
+		s.SliceResumes, s.SliceSkims, s.BytesInUse,
 		s.MemoHits, s.MemoHits+s.MemoMisses)
 }
 
@@ -235,16 +296,27 @@ func NewSliced(maxBytes int64, sliceInsts uint64) *Cache {
 // different keys.
 //
 // The returned view replays through resident slices zero-copy and
-// re-materializes evicted slices on demand (Source.Range), so replays
-// are byte-identical to an uncached recording under any cap. Concurrent
-// calls for the same key share one recording. A call whose budget
-// exceeds the resident entry's re-records at the larger budget and
-// replaces it.
+// re-materializes evicted slices on demand — resuming from a stored
+// checkpoint when the recording captured one at or below the missing
+// window (Source.Resume), skimming the prefix otherwise (Source.Range)
+// — so replays are byte-identical to an uncached recording under any
+// cap. Concurrent calls for the same key share one recording. For
+// budget-insensitive sources a call whose budget exceeds the resident
+// entry's re-records at the larger budget and replaces it; a
+// budget-sensitive source (Source.BudgetSensitive) keys each budget
+// separately instead, since its traces are not prefix-comparable.
 func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.Replayable {
 	if c == nil {
-		return trace.FromSlice(joinArrays(src.Record(0)))
+		arrs, _ := src.Record(0)
+		return trace.FromSlice(joinArrays(arrs))
 	}
-	k := key{name, input}
+	k := key{name: name, input: input}
+	if src.BudgetSensitive {
+		// This payload's structure scales with the budget: a shorter
+		// trace is not a prefix of a longer one, so each budget is its
+		// own trace identity.
+		k.budget = budget
+	}
 	c.mu.Lock()
 	for {
 		e := c.entries[k]
@@ -289,13 +361,16 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 		e.sliceLen = budget
 	}
 	e.rng = src.Range
+	e.resume = src.Resume
 	if e.rng == nil {
 		// Whole-trace granularity: the single slice refills through a
 		// full re-recording.
 		record := src.Record
 		e.rng = func(lo, hi uint64) []trace.Inst {
-			return joinArrays(record(0))[lo:hi]
+			arrs, _ := record(0)
+			return joinArrays(arrs)[lo:hi]
 		}
+		e.resume = nil
 	}
 	c.entries[k] = e
 	c.stats.Misses++
@@ -316,7 +391,7 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 		close(e.ready)
 		c.mu.Unlock()
 	}()
-	arrs := src.Record(e.sliceLen)
+	arrs, ckpts := src.Record(e.sliceLen)
 	for i, a := range arrs {
 		// Middle slices must be exactly sliceLen: the slice index math
 		// (global index / sliceLen) depends on it.
@@ -327,6 +402,7 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 	done = true
 
 	c.mu.Lock()
+	e.ckpts = ckpts
 	e.slices = make([]*sliceEnt, len(arrs))
 	for i, a := range arrs {
 		e.slices[i] = &sliceEnt{e: e, idx: i, insts: a, bytes: int64(len(a)) * instBytes}
@@ -392,7 +468,7 @@ func (c *Cache) pin(e *entry, si int) []trace.Inst {
 			se.ready = nil
 			c.mu.Unlock()
 		}()
-		data := e.rng(lo, hi)
+		data, resumed := e.refill(lo, hi)
 		done = true
 
 		c.mu.Lock()
@@ -401,6 +477,11 @@ func (c *Cache) pin(e *entry, si int) []trace.Inst {
 		close(se.ready)
 		se.ready = nil
 		c.stats.SliceRerecords++
+		if resumed {
+			c.stats.SliceResumes++
+		} else {
+			c.stats.SliceSkims++
+		}
 		if c.entries[e.key] == e {
 			se.elem = c.lru.PushBack(se)
 			c.bytes += se.bytes

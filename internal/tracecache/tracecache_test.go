@@ -1,10 +1,12 @@
 package tracecache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"branchlab/internal/program"
 	"branchlab/internal/trace"
 )
 
@@ -31,10 +33,10 @@ type source struct {
 
 func (s *source) Source() Source {
 	return Source{
-		Record: func(sliceLen uint64) [][]trace.Inst {
+		Record: func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
 			s.records.Add(1)
 			if sliceLen == 0 || sliceLen >= uint64(s.n) {
-				return [][]trace.Inst{mkInsts(0, s.n)}
+				return [][]trace.Inst{mkInsts(0, s.n)}, nil
 			}
 			var out [][]trace.Inst
 			for lo := 0; lo < s.n; lo += int(sliceLen) {
@@ -44,7 +46,7 @@ func (s *source) Source() Source {
 				}
 				out = append(out, mkInsts(lo, hi))
 			}
-			return out
+			return out, nil
 		},
 		Range: func(lo, hi uint64) []trace.Inst {
 			s.ranges.Add(1)
@@ -524,5 +526,189 @@ func TestStatsRendering(t *testing.T) {
 	}
 	if len(tab.Headers) != len(tab.Rows[0]) {
 		t.Fatalf("table has %d headers but %d cells", len(tab.Headers), len(tab.Rows[0]))
+	}
+}
+
+// ckptSource is a counting Source over the same deterministic trace
+// with fake checkpoints every `every` instructions and a Resume path,
+// mirroring what a checkpointed workload recording provides.
+type ckptSource struct {
+	source
+	every   int
+	resumes atomic.Int64 // refills served via Resume
+	skims   atomic.Int64 // refills that fell back to Range
+	fail    bool         // make Resume fail, forcing the fallback
+}
+
+func (s *ckptSource) Source() Source {
+	src := s.source.Source()
+	src.Record = func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
+		arrs, _ := s.source.Source().Record(sliceLen)
+		s.records.Store(s.source.records.Load()) // keep outer counter honest
+		var cks []program.Checkpoint
+		for at := s.every; at < s.n; at += s.every {
+			// Only At matters to the cache; the resume closure below
+			// regenerates from it directly.
+			cks = append(cks, program.Checkpoint{At: uint64(at), Rng: [4]uint64{1, 0, 0, 0}})
+		}
+		return arrs, cks
+	}
+	src.Resume = func(ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error) {
+		if ck.At > lo {
+			return nil, errors.New("checkpoint past window")
+		}
+		if s.fail {
+			return nil, errors.New("unusable checkpoint")
+		}
+		s.resumes.Add(1)
+		return mkInsts(int(lo), int(hi)), nil
+	}
+	origRange := src.Range
+	src.Range = func(lo, hi uint64) []trace.Inst {
+		s.skims.Add(1)
+		return origRange(lo, hi)
+	}
+	return src
+}
+
+// TestCheckpointResumeRefill: with checkpoints in the header, evicted
+// slices past the first checkpoint refill through Resume; the counters
+// separate resumes from skims and the bytes stay identical.
+func TestCheckpointResumeRefill(t *testing.T) {
+	// 100-inst trace, 10-inst slices, one-slice cap: every pin refills.
+	src := &ckptSource{source: source{n: 100}, every: 25}
+	c := NewSliced(10*instBytes, 10)
+	v := c.Record("w", 0, 100, src.Source())
+	checkIdentity(t, drain(t, v), 0)
+	st := c.Stats()
+	if st.SliceRerecords == 0 {
+		t.Fatal("one-slice cap forced no refills; regime under test did not engage")
+	}
+	if st.SliceResumes == 0 {
+		t.Fatalf("no refill resumed from a checkpoint (stats %+v)", st)
+	}
+	// Slices entirely below the first checkpoint (At=25) have no
+	// checkpoint at or below them and must skim.
+	if st.SliceSkims == 0 {
+		t.Fatalf("refills below the first checkpoint should skim (stats %+v)", st)
+	}
+	if st.SliceResumes+st.SliceSkims != st.SliceRerecords {
+		t.Fatalf("resumes (%d) + skims (%d) != re-records (%d)",
+			st.SliceResumes, st.SliceSkims, st.SliceRerecords)
+	}
+	if got, want := src.resumes.Load()+src.skims.Load(), int64(st.SliceRerecords); got != want {
+		t.Fatalf("source served %d refills, cache counted %d", got, want)
+	}
+}
+
+// TestCheckpointResumeFailureFallsBack: a checkpoint the source cannot
+// resume degrades to the skim path — correct bytes, counted as skims.
+func TestCheckpointResumeFailureFallsBack(t *testing.T) {
+	src := &ckptSource{source: source{n: 100}, every: 20, fail: true}
+	c := NewSliced(10*instBytes, 10)
+	v := c.Record("w", 0, 100, src.Source())
+	checkIdentity(t, drain(t, v), 0)
+	st := c.Stats()
+	if st.SliceResumes != 0 {
+		t.Fatalf("failing Resume still counted %d resumes", st.SliceResumes)
+	}
+	if st.SliceSkims == 0 || st.SliceSkims != st.SliceRerecords {
+		t.Fatalf("all refills should have skimmed (stats %+v)", st)
+	}
+}
+
+// TestConcurrentCheckpointResume hammers resume-capable refills from
+// many goroutines under a one-slice cap (run under -race).
+func TestConcurrentCheckpointResume(t *testing.T) {
+	src := &ckptSource{source: source{n: 256}, every: 16}
+	c := NewSliced(16*instBytes, 16)
+	v := c.Record("w", 0, 256, src.Source())
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := (g * 29) % 200
+			sub := v.Range(lo, lo+56)
+			var inst trace.Inst
+			s := sub.Stream()
+			for i := 0; s.Next(&inst); i++ {
+				if inst.DstValue != uint64(lo+i) {
+					t.Errorf("goroutine %d: inst %d = %d, want %d", g, i, inst.DstValue, lo+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.SliceResumes == 0 {
+		t.Fatalf("concurrent replay never resumed from a checkpoint (stats %+v)", st)
+	}
+}
+
+// budgetSource synthesizes a trace whose content depends on the budget
+// — the payload shape that makes prefix serving wrong (see
+// Source.BudgetSensitive). DstValue encodes (budget, index).
+type budgetSource struct {
+	budget  int
+	records atomic.Int64
+}
+
+func (s *budgetSource) insts(lo, hi int) []trace.Inst {
+	out := make([]trace.Inst, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, trace.Inst{IP: 0x400000 + uint64(i)*4, Kind: trace.KindALU,
+			DstValue: uint64(s.budget)<<32 | uint64(i)})
+	}
+	return out
+}
+
+func (s *budgetSource) Source() Source {
+	return Source{
+		BudgetSensitive: true,
+		Record: func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
+			s.records.Add(1)
+			return [][]trace.Inst{s.insts(0, s.budget)}, nil
+		},
+		Range: func(lo, hi uint64) []trace.Inst { return s.insts(int(lo), int(hi)) },
+	}
+}
+
+// TestBudgetSensitiveNotServedPrefix is the regression test for the
+// prefix-serving hazard: a budget-sensitive payload requested at a
+// smaller budget than a cached recording must get its own recording at
+// that budget, not a truncated prefix of the larger one — the two
+// traces differ byte-for-byte for such payloads. (Before the fix the
+// cache keyed only on (name, input) and served the wrong prefix.)
+func TestBudgetSensitiveNotServedPrefix(t *testing.T) {
+	c := New(0)
+	big := &budgetSource{budget: 100}
+	small := &budgetSource{budget: 50}
+	c.Record("w", 0, 100, big.Source())
+	half := c.Record("w", 0, 50, small.Source())
+	if small.records.Load() != 1 {
+		t.Fatalf("smaller budget was served without recording (%d recordings): truncated prefix of a budget-sensitive trace",
+			small.records.Load())
+	}
+	if half.Len() != 50 {
+		t.Fatalf("smaller-budget trace has %d insts, want 50", half.Len())
+	}
+	var inst trace.Inst
+	st := half.Stream()
+	for i := 0; st.Next(&inst); i++ {
+		if want := uint64(50)<<32 | uint64(i); inst.DstValue != want {
+			t.Fatalf("inst %d = %#x, want %#x (the budget-50 synthesis, not the budget-100 prefix)",
+				i, inst.DstValue, want)
+		}
+	}
+	// Each budget is its own entry; repeat requests at either budget hit.
+	c.Record("w", 0, 100, big.Source())
+	c.Record("w", 0, 50, small.Source())
+	if big.records.Load() != 1 || small.records.Load() != 1 {
+		t.Fatalf("repeat requests re-recorded (big=%d small=%d)", big.records.Load(), small.records.Load())
+	}
+	if stt := c.Stats(); stt.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (one per budget)", stt.Entries)
 	}
 }

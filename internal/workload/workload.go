@@ -16,6 +16,7 @@ import (
 	"branchlab/internal/engine"
 	"branchlab/internal/program"
 	"branchlab/internal/trace"
+	"branchlab/internal/tracecache"
 	"branchlab/internal/xrand"
 )
 
@@ -76,13 +77,26 @@ func (s *Spec) RecordSharded(input int, budget uint64, pool *engine.Pool, shards
 	return program.RecordSharded(s.seed(input), budget, s.Payload(input), pool, shards)
 }
 
+// RecordShardedFrom is RecordSharded resuming each worker from the
+// nearest checkpoint at or below its range start
+// (program.RecordShardedFrom): with checkpoints from a prior
+// checkpointed recording of the same (input, budget), workers no
+// longer skim overlapping prefixes — re-recording is embarrassingly
+// parallel. Byte-identical to Record for any checkpoint list.
+func (s *Spec) RecordShardedFrom(input int, budget uint64, pool *engine.Pool, shards int, ckpts []program.Checkpoint) *trace.Buffer {
+	return program.RecordShardedFrom(s.seed(input), budget, s.Payload(input), pool, shards, ckpts)
+}
+
 // RecordSlices materializes the same trace Record produces as
 // independently owned arrays of sliceLen instructions each — the
 // slice-granular trace cache's ingest path (program.RecordSlices).
 // Concatenated, the arrays are byte-identical to Record at any
-// (sliceLen, shards) combination.
-func (s *Spec) RecordSlices(input int, budget, sliceLen uint64, pool *engine.Pool, shards int) [][]trace.Inst {
-	return program.RecordSlices(s.seed(input), budget, s.Payload(input), sliceLen, pool, shards)
+// (sliceLen, shards) combination. ckptEvery > 0 also captures payload
+// checkpoints at that spacing; every registered generator is
+// checkpointable, so the cache can later refill evicted slices in
+// O(window) via RecordRangeFrom.
+func (s *Spec) RecordSlices(input int, budget, sliceLen uint64, pool *engine.Pool, shards int, ckptEvery uint64) ([][]trace.Inst, []program.Checkpoint) {
+	return program.RecordSlices(s.seed(input), budget, s.Payload(input), sliceLen, pool, shards, ckptEvery)
 }
 
 // RecordRange re-materializes instructions [lo, hi) of one input's
@@ -92,6 +106,57 @@ func (s *Spec) RecordSlices(input int, budget, sliceLen uint64, pool *engine.Poo
 // the same range of Record's output.
 func (s *Spec) RecordRange(input int, budget, lo, hi uint64) []trace.Inst {
 	return program.RecordRange(s.seed(input), budget, s.Payload(input), lo, hi)
+}
+
+// RecordRangeFrom is RecordRange resuming from ck
+// (program.RecordRangeFrom): generation starts at ck.At instead of
+// instruction zero, making the window cost independent of lo. The
+// checkpoint must come from a checkpointed recording of the same
+// (input, budget); on any mismatch the call fails (typed error, never
+// wrong bytes) and the caller falls back to RecordRange.
+func (s *Spec) RecordRangeFrom(input int, budget uint64, ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error) {
+	return program.RecordRangeFrom(s.seed(input), budget, s.Payload(input), ck, lo, hi)
+}
+
+// BudgetSensitive reports that this workload's traces are not
+// prefix-comparable across budgets: every registered generator scales
+// static structure with Emitter.Budget (the cold-code footprint, the
+// phase length), so a trace recorded at budget B is not a prefix of
+// the same workload recorded at B' > B. Callers keying recordings in a
+// cache must key on the budget (tracecache.Source.BudgetSensitive)
+// rather than serve truncated prefixes.
+func (s *Spec) BudgetSensitive() bool { return true }
+
+// CkptPerCacheSlice, passed as CacheSource's ckptEvery, captures one
+// checkpoint per cache slice: the spacing follows whatever slice
+// length the cache records this trace at.
+const CkptPerCacheSlice = ^uint64(0)
+
+// CacheSource is the tracecache.Source for one (input, budget) trace —
+// the single place the cache's record/refill callbacks are wired to
+// this package, shared by the experiments drivers, the facade and the
+// CLIs. Recording runs on pool with the given shard count; ckptEvery
+// is the checkpoint spacing (0 = no checkpoints, CkptPerCacheSlice =
+// one per cache slice). Refills resume from the captured checkpoints
+// (Resume) and fall back to the prefix skim (Range); both regenerate
+// byte-identical windows.
+func (s *Spec) CacheSource(input int, budget uint64, pool *engine.Pool, shards int, ckptEvery uint64) tracecache.Source {
+	return tracecache.Source{
+		BudgetSensitive: s.BudgetSensitive(),
+		Record: func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
+			every := ckptEvery
+			if every == CkptPerCacheSlice {
+				every = sliceLen
+			}
+			return s.RecordSlices(input, budget, sliceLen, pool, shards, every)
+		},
+		Range: func(lo, hi uint64) []trace.Inst {
+			return s.RecordRange(input, budget, lo, hi)
+		},
+		Resume: func(ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error) {
+			return s.RecordRangeFrom(input, budget, ck, lo, hi)
+		},
+	}
 }
 
 // SPECint2017Like returns the nine-benchmark suite modeled on Table I

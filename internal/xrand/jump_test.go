@@ -1,6 +1,9 @@
 package xrand
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestStateRoundTrip(t *testing.T) {
 	r := New(7)
@@ -12,7 +15,9 @@ func TestStateRoundTrip(t *testing.T) {
 	for i := range want {
 		want[i] = r.Uint64()
 	}
-	r.SetState(st)
+	if err := r.SetState(st); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
 	for i, w := range want {
 		if got := r.Uint64(); got != w {
 			t.Fatalf("draw %d after SetState: %#x, want %#x", i, got, w)
@@ -20,13 +25,18 @@ func TestStateRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSetStatePanicsOnZero(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on all-zero state")
-		}
-	}()
-	New(1).SetState([4]uint64{})
+func TestSetStateRejectsZero(t *testing.T) {
+	r := New(1)
+	before := r.State()
+	err := r.SetState([4]uint64{})
+	if !errors.Is(err, ErrZeroState) {
+		t.Fatalf("SetState(zero) = %v, want ErrZeroState", err)
+	}
+	if r.State() != before {
+		t.Error("failed SetState modified the generator")
+	}
+	// The generator must remain usable after the rejected restore.
+	r.Uint64()
 }
 
 func TestJumpDeterministicAndDisjoint(t *testing.T) {

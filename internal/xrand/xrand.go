@@ -6,7 +6,16 @@
 // pure function of its seed.
 package xrand
 
-import "math"
+import (
+	"errors"
+	"math"
+)
+
+// ErrZeroState is returned by SetState for the all-zero state, which a
+// xoshiro generator cannot reach (and cannot leave: it would emit zeros
+// forever). Checkpoint consumers use it to reject a zero-value
+// Checkpoint that never went through a real capture.
+var ErrZeroState = errors.New("xrand: all-zero generator state")
 
 // SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
 // used both as a standalone generator and to seed Xoshiro256.
@@ -77,19 +86,22 @@ func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 
 // State returns the generator's 256-bit internal state. Together with
 // SetState it lets deterministic replays checkpoint and restore a
-// generator exactly. Sharded trace recording does not use it today
-// (workers regenerate from the seed; see DESIGN.md §6) — it is the
-// checkpointing primitive a slice-local payload contract would build
-// on.
+// generator exactly: program.Checkpoint captures it at payload safe
+// points, and the trace cache's evicted-slice refill restores it to
+// resume mid-trace (see DESIGN.md §6).
 func (r *Rand) State() [4]uint64 { return r.s }
 
-// SetState restores a state captured with State. It panics on the
-// all-zero state, which xoshiro cannot leave.
-func (r *Rand) SetState(s [4]uint64) {
+// SetState restores a state captured with State. It returns
+// ErrZeroState — leaving the generator unchanged — for the all-zero
+// state, which xoshiro cannot reach: a zero value here means the
+// caller's checkpoint was never captured, and a replay worker must be
+// able to fall back to the skim path rather than die mid-run.
+func (r *Rand) SetState(s [4]uint64) error {
 	if s[0]|s[1]|s[2]|s[3] == 0 {
-		panic("xrand: SetState with all-zero state")
+		return ErrZeroState
 	}
 	r.s = s
+	return nil
 }
 
 // jumpPoly is the xoshiro256 jump polynomial of Blackman and Vigna: a

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR4.json,
+# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR5.json,
 # and diff the replay-loop benchmarks against the previous PR's
-# committed baseline (BENCH_PR3.json) so regressions in the block
+# committed baseline (BENCH_PR4.json) so regressions in the block
 # pipeline fail loudly.
 #
 # Tracked benchmarks (the perf trajectory of the replay refactors):
@@ -15,6 +15,10 @@
 #                                         the evicted run also reports peak
 #                                         accounted residency (must stay below
 #                                         one whole-trace footprint)
+#   BenchmarkEvictedRefill/mode={skim,ckpt}/pos={first,last}
+#                                       - evicted-slice refill: prefix skim vs
+#                                         checkpoint resume; ckpt must be
+#                                         position-independent (O(window))
 #   BenchmarkFig5Parallel/workers=N     - engine scaling (meaningful on multi-core hosts)
 #   BenchmarkRecordSharded/shards=N     - sharded deterministic trace recording
 #
@@ -27,12 +31,16 @@
 #      regressions, meaningful on any machine. Enforced when both
 #      samples averaged >= 3 iterations (BENCHTIME >= 3x); a
 #      single-iteration sample only reports.
-#   2. Cross-run diff vs the committed BENCH_PR3.json baseline:
+#   2. Cross-run diff vs the committed BENCH_PR4.json baseline:
 #      printed for trend tracking; it only FAILS when BASELINE_GATE=1,
 #      because absolute ns/op from a different host (e.g. a CI runner
 #      vs the machine that recorded the baseline) cannot gate
 #      correctly. Set BASELINE_GATE=1 when re-measuring on the
 #      baseline's host.
+#
+# A missing baseline file or a tracked benchmark that vanished from the
+# benchmark output is a hard error with a clear message — not a silent
+# skip or a confusing parse failure downstream.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x scripts/bench.sh            # CI smoke (one iteration each)
@@ -43,9 +51,9 @@
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-1s}"
-baseline="${BASELINE:-BENCH_PR3.json}"
+baseline="${BASELINE:-BENCH_PR4.json}"
 regmax="${REGRESSION_MAX:-1.30}"
 blockmax="${BLOCK_MAX:-1.25}"
 basegate="${BASELINE_GATE:-0}"
@@ -53,7 +61,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$|BenchmarkTraceCacheSlicedReplay$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
+  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$|BenchmarkTraceCacheSlicedReplay$|BenchmarkEvictedRefill$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
   -benchtime "$benchtime" . | tee "$raw" >&2
 
 awk -v benchtime="$benchtime" '
@@ -71,8 +79,42 @@ awk -v benchtime="$benchtime" '
 
 echo "wrote $out" >&2
 
-# --- regression checks -------------------------------------------------
+# --- sanity: every tracked benchmark must be present -------------------
+# A benchmark that silently disappears (renamed, deleted, filtered out)
+# would otherwise just vanish from the JSON and turn later baseline
+# diffs into head-scratchers. The machine-dependent sub-benchmarks
+# (workers=N, shards=N for N = NumCPU) are not in this list.
 parse() { sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.e+]*\).*/\1 \2/p' "$1"; }
+
+required='BenchmarkRunAll/cache=off
+BenchmarkRunAll/cache=on
+BenchmarkCoreRun/observers=off
+BenchmarkCoreRun/observers=on
+BenchmarkCoreRun/perinst-reference
+BenchmarkTraceCacheHit
+BenchmarkTraceCacheSlicedReplay/resident
+BenchmarkTraceCacheSlicedReplay/evicted
+BenchmarkEvictedRefill/mode=skim/pos=first
+BenchmarkEvictedRefill/mode=ckpt/pos=first
+BenchmarkEvictedRefill/mode=skim/pos=last
+BenchmarkEvictedRefill/mode=ckpt/pos=last
+BenchmarkFig5Parallel/workers=1
+BenchmarkRecordSharded/shards=1'
+missing=0
+while IFS= read -r name; do
+  if ! parse "$out" | awk -v n="$name" '$1 == n { found = 1 } END { exit !found }'; then
+    echo "bench.sh: tracked benchmark $name missing from the output — renamed or deleted?" >&2
+    missing=1
+  fi
+done <<EOF
+$required
+EOF
+if [ "$missing" -ne 0 ]; then
+  echo "bench.sh: update the tracked set in scripts/bench.sh if the rename is intentional" >&2
+  exit 1
+fi
+
+# --- regression checks -------------------------------------------------
 
 # 1. Intra-run gate: block replay vs the per-instruction reference in
 # the same binary on the same host. Host-independent; enforced only
@@ -84,24 +126,33 @@ block_ns="$(parse "$out" | awk '$1 == "BenchmarkCoreRun/observers=off" { print $
 ref_ns="$(parse "$out" | awk '$1 == "BenchmarkCoreRun/perinst-reference" { print $2 }')"
 block_it="$(parseiters "$out" 'BenchmarkCoreRun\/observers=off')"
 ref_it="$(parseiters "$out" 'BenchmarkCoreRun\/perinst-reference')"
-if [ -n "$block_ns" ] && [ -n "$ref_ns" ]; then
-  ratio="$(awk -v a="$block_ns" -v b="$ref_ns" 'BEGIN { printf "%.3f", a/b }')"
-  echo "block replay vs per-instruction reference (same run): ${ratio}x (gate ${blockmax}x)" >&2
-  if [ "${block_it:-0}" -lt 3 ] || [ "${ref_it:-0}" -lt 3 ]; then
-    echo "  (single-sample timings — gate reported, not enforced; use BENCHTIME>=3x to enforce)" >&2
-  elif [ "$(awk -v r="$ratio" -v m="$blockmax" 'BEGIN { print (r > m) ? 1 : 0 }')" = 1 ]; then
-    echo "bench.sh: block replay loop is ${ratio}x the per-instruction reference (max ${blockmax}x) — replay-loop regression" >&2
-    exit 1
-  fi
+if [ -z "$block_ns" ] || [ -z "$ref_ns" ]; then
+  echo "bench.sh: could not parse the intra-run gate samples from $out" >&2
+  exit 1
+fi
+ratio="$(awk -v a="$block_ns" -v b="$ref_ns" 'BEGIN { printf "%.3f", a/b }')"
+echo "block replay vs per-instruction reference (same run): ${ratio}x (gate ${blockmax}x)" >&2
+if [ "${block_it:-0}" -lt 3 ] || [ "${ref_it:-0}" -lt 3 ]; then
+  echo "  (single-sample timings — gate reported, not enforced; use BENCHTIME>=3x to enforce)" >&2
+elif [ "$(awk -v r="$ratio" -v m="$blockmax" 'BEGIN { print (r > m) ? 1 : 0 }')" = 1 ]; then
+  echo "bench.sh: block replay loop is ${ratio}x the per-instruction reference (max ${blockmax}x) — replay-loop regression" >&2
+  exit 1
 fi
 
 # 2. Cross-run diff vs the committed baseline (RunAll, CoreRun,
-# RecordSharded; the other benchmarks are new in this PR or, like
-# TraceCacheHit, measure a path whose work changed shape between PRs
-# and so have no comparable baseline). Printed for trend tracking;
-# enforced only with BASELINE_GATE=1 since absolute ns/op only compare
-# on the host that recorded the baseline.
-if [ -f "$baseline" ]; then
+# RecordSharded; the other benchmarks are new in this PR or measure a
+# path whose work changed shape between PRs and so have no comparable
+# baseline). Printed for trend tracking; enforced only with
+# BASELINE_GATE=1 since absolute ns/op only compare on the host that
+# recorded the baseline. BASELINE=/dev/null skips the diff explicitly;
+# anything else must exist.
+if [ "$baseline" = "/dev/null" ]; then
+  echo "baseline diff skipped (BASELINE=/dev/null)" >&2
+else
+  if [ ! -f "$baseline" ]; then
+    echo "bench.sh: baseline $baseline not found — commit it, point BASELINE at the right file, or set BASELINE=/dev/null to skip the diff" >&2
+    exit 1
+  fi
   status=0
   echo "diff vs $baseline (informational unless BASELINE_GATE=1; max ${regmax}x):" >&2
   while read -r name ns; do
@@ -110,7 +161,10 @@ if [ -f "$baseline" ]; then
       *) continue ;;
     esac
     base_ns="$(parse "$baseline" | awk -v n="$name" '$1 == n { print $2 }')"
-    [ -z "$base_ns" ] && continue
+    if [ -z "$base_ns" ]; then
+      echo "  $name: not in $baseline (new or machine-dependent); skipped" >&2
+      continue
+    fi
     ratio="$(awk -v a="$ns" -v b="$base_ns" 'BEGIN { printf "%.3f", a/b }')"
     flag=ok
     if [ "$(awk -v r="$ratio" -v m="$regmax" 'BEGIN { print (r > m) ? 1 : 0 }')" = 1 ]; then
