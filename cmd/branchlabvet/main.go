@@ -1,0 +1,36 @@
+// Branchlabvet is branchlab's custom vet tool: four analyzers that
+// statically enforce the contracts every byte-identity guarantee in
+// this repository rests on (DESIGN.md "Statically enforced
+// invariants").
+//
+// It speaks cmd/go's -vettool protocol, so the whole module is checked
+// with
+//
+//	go build -o bin/branchlabvet ./cmd/branchlabvet
+//	go vet -vettool=bin/branchlabvet ./...
+//
+// or, bundled with gofmt and shellcheck, via scripts/lint.sh — the
+// pre-commit entry point, and the command CI's fast lane runs.
+//
+// Suppress a finding with a justification comment on (or directly
+// above) the flagged line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"branchlab/internal/lint/analysis"
+	"branchlab/internal/lint/blockalias"
+	"branchlab/internal/lint/checkpointpure"
+	"branchlab/internal/lint/determinism"
+	"branchlab/internal/lint/mergecomplete"
+)
+
+func main() {
+	analysis.Vet(
+		determinism.Analyzer,
+		blockalias.Analyzer,
+		checkpointpure.Analyzer,
+		mergecomplete.Analyzer,
+	)
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"branchlab"
 	"branchlab/internal/core"
@@ -55,7 +56,13 @@ func main() {
 	for _, p := range an.Positions(target) {
 		byDep[p.DepIP] = append(byDep[p.DepIP], p)
 	}
-	for ip, ps := range byDep {
+	deps := make([]uint64, 0, len(byDep))
+	for ip := range byDep {
+		deps = append(deps, ip)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	for _, ip := range deps {
+		ps := byDep[ip]
 		var total uint64
 		minP, maxP := ps[0].Pos, ps[0].Pos
 		for _, p := range ps {

@@ -1,0 +1,56 @@
+package cliutil_test
+
+import (
+	"testing"
+
+	"branchlab/internal/cliutil"
+)
+
+// FuzzValidateFlags checks Validate against an independent restatement
+// of its acceptance rules: for every flag combination the two must
+// agree on accept/reject, and Validate must never panic. The seed
+// corpus covers each rule's boundary from both sides.
+func FuzzValidateFlags(f *testing.F) {
+	seed := func(budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool) {
+		f.Add(budget, slice, parallel, recshards, cache, cacheSet, ckptSet)
+	}
+	seed(30_000_000, 1_000_000, 0, 0, false, false, false) // defaults, valid
+	seed(0, 1_000_000, 0, 0, false, false, false)          // zero budget
+	seed(30_000_000, 0, 0, 0, false, false, false)         // zero slice
+	seed(1, 1, -1, 0, false, false, false)                 // negative parallel
+	seed(1, 1, 0, -1, false, false, false)                 // negative recshards
+	seed(1, 1, 4, 8, false, false, false)                  // shards oversubscribe pool
+	seed(1, 1, 8, 8, false, false, false)                  // shards == pool, valid
+	seed(1, 1, 0, 8, false, false, false)                  // shards with NumCPU pool, valid
+	seed(1, 1, 1, 1, false, false, false)                  // sequential shard, valid
+	seed(1, 1, 0, 0, false, true, false)                   // cacheslice without cache
+	seed(1, 1, 0, 0, false, false, true)                   // ckptslice without cache
+	seed(1, 1, 0, 0, true, true, true)                     // cache geometry with cache, valid
+
+	f.Fuzz(func(t *testing.T, budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool) {
+		fl := cliutil.RunFlags{
+			Budget:        budget,
+			SliceLen:      slice,
+			Parallel:      parallel,
+			RecShards:     recshards,
+			CacheEnabled:  cache,
+			CacheSliceSet: cacheSet,
+			CkptSliceSet:  ckptSet,
+		}
+		err := fl.Validate()
+
+		wantOK := budget > 0 &&
+			slice > 0 &&
+			parallel >= 0 &&
+			recshards >= 0 &&
+			!(recshards > 1 && parallel > 0 && recshards > parallel) &&
+			(cache || !cacheSet) &&
+			(cache || !ckptSet)
+		if gotOK := err == nil; gotOK != wantOK {
+			t.Errorf("Validate(%+v) = %v, independent oracle says ok=%v", fl, err, wantOK)
+		}
+		if err != nil && err.Error() == "" {
+			t.Errorf("Validate(%+v) returned an error with no message", fl)
+		}
+	})
+}

@@ -66,7 +66,7 @@ type Collector struct {
 	cur      *SliceStats
 	// end is the first instruction index past cur's slice; comparing
 	// against it replaces a per-instruction division in Inst.
-	end uint64
+	end uint64 //lint:ignore mergecomplete cursor cache: Merge nils cur, forcing the next Inst to re-resolve the slice and rewrite end
 }
 
 // NewCollector returns a Collector with the given slice length.

@@ -34,24 +34,31 @@ type ringEntry struct {
 
 // Analyzer tracks dependency branches for a set of target IPs. It
 // implements the core.Observer contract.
+//
+// Only the per-target results participate in Merge: the supported
+// sharding is by target set over replays of the same trace (see the
+// Merge doc), so every field below the targets map is whole-trace
+// replay state that each shard rebuilds identically from instruction
+// zero — the mergecomplete annotations record that argument field by
+// field.
 type Analyzer struct {
-	Window int
+	Window int //lint:ignore mergecomplete construction-time configuration; New gives every target-set shard the same value
 	// MaxSamples bounds how many executions per target are analyzed (the
 	// backward walk is O(Window)); 0 means analyze every execution.
-	MaxSamples int
+	MaxSamples int //lint:ignore mergecomplete construction-time configuration, identical across target-set shards
 
 	targets map[uint64]*targetState
 
-	ring []ringEntry
-	head int // next write position
-	size int
+	ring []ringEntry //lint:ignore mergecomplete whole-trace window state: every target-set shard replays the full trace and holds an identical window
+	head int         //lint:ignore mergecomplete whole-trace window cursor, identical across target-set shards
+	size int         //lint:ignore mergecomplete whole-trace window fill, identical across target-set shards
 
-	regWriter [trace.NumRegs]uint64
-	memWriter map[uint64]uint64
-	seq       uint64
+	regWriter [trace.NumRegs]uint64 //lint:ignore mergecomplete whole-trace value-identity state, identical across target-set shards
+	memWriter map[uint64]uint64     //lint:ignore mergecomplete whole-trace value-identity state, identical across target-set shards
+	seq       uint64                //lint:ignore mergecomplete whole-trace sequence counter, identical across target-set shards
 
 	// scratch reused across analyses
-	closure map[uint64]struct{}
+	closure map[uint64]struct{} //lint:ignore mergecomplete per-call scratch, cleared at the top of every analyze
 }
 
 // targetState accumulates per-target results.

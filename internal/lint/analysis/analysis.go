@@ -1,0 +1,198 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface that branchlab's custom
+// vet analyzers (cmd/branchlabvet) are written against.
+//
+// The real x/tools module is deliberately not a dependency: branchlab
+// builds offline from a bare toolchain, and the four analyzers need
+// nothing beyond the standard library's go/ast and go/types. The types
+// here mirror the upstream API closely enough that the analyzers would
+// compile against x/tools with only an import-path change, should the
+// module ever grow that dependency.
+//
+// Two drivers run analyzers built on this package: Vet (unitchecker.go)
+// speaks cmd/go's -vettool protocol so the suite runs as
+// `go vet -vettool=$(scripts/lint.sh --print-tool) ./...`, and the
+// analysistest sibling package replays golden-file packages in tests.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line or alone on the line directly
+// above it. The reason is mandatory; a bare //lint:ignore without one
+// has no effect. DESIGN.md ("Statically enforced invariants") lists
+// the convention next to each contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and
+// //lint:ignore directives), documentation, and the function that runs
+// the check over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between one Analyzer and one package being
+// analyzed: the syntax, the type information, and the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. Drivers install a sink that applies
+	// //lint:ignore suppression before recording.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a Diagnostic resolved to a concrete file position and
+// stamped with the analyzer that produced it; drivers collect these.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// parseIgnores collects the //lint:ignore directives of the files.
+// Only well-formed directives (at least one analyzer name and a
+// non-empty reason) take effect.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive has no effect
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					if n != "" {
+						names[n] = true
+					}
+				}
+				posn := fset.Position(c.Pos())
+				out = append(out, ignoreDirective{file: posn.Filename, line: posn.Line, analyzers: names})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding by the named analyzer at posn is
+// covered by a directive: same line, or the directive sits alone on the
+// line directly above.
+func suppressed(dirs []ignoreDirective, name string, posn token.Position) bool {
+	for _, d := range dirs {
+		if d.file != posn.Filename || !d.analyzers[name] {
+			continue
+		}
+		if d.line == posn.Line || d.line == posn.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving findings sorted by position. It is the single entry point
+// both drivers share, so suppression semantics cannot diverge between
+// `go vet` runs and golden-file tests.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+
+	dirs := parseIgnores(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		emitted := make(map[Finding]bool)
+		pass.Report = func(d Diagnostic) {
+			posn := fset.Position(d.Pos)
+			if suppressed(dirs, name, posn) {
+				return
+			}
+			f := Finding{Analyzer: name, Posn: posn, Message: d.Message}
+			if emitted[f] {
+				return // e.g. nested map ranges can visit a statement twice
+			}
+			emitted[f] = true
+			findings = append(findings, f)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Posn, findings[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers
+// consult allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const suppressionSrc = `package p
+
+func flagged() {
+	bad() // line 4: no directive
+	//lint:ignore testcheck justified on the next line
+	bad() // line 6: suppressed by the line above
+	bad() //lint:ignore testcheck justified on the same line
+	//lint:ignore othercheck wrong analyzer name
+	bad() // line 9: not suppressed for testcheck
+	//lint:ignore testcheck,othercheck multi-analyzer directive
+	bad() // line 11: suppressed
+	//lint:ignore testcheck
+	bad() // line 13: directive above has no reason, so it has no effect
+}
+
+func bad() {}
+`
+
+// checkAnalyzer flags every call of bad().
+var checkAnalyzer = &Analyzer{
+	Name: "testcheck",
+	Doc:  "flags calls of bad",
+	Run: func(pass *Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Reportf(call.Pos(), "call of bad")
+						pass.Reportf(call.Pos(), "call of bad") // duplicate: must be deduped
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestSuppressionAndDedup(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	info := NewTypesInfo()
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers(fset, []*ast.File{file}, pkg, info, []*Analyzer{checkAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, f := range findings {
+		lines = append(lines, f.Posn.Line)
+	}
+	want := []int{4, 9, 13}
+	if len(lines) != len(want) {
+		t.Fatalf("findings on lines %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("findings on lines %v, want %v", lines, want)
+		}
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.String(), "testcheck") {
+			t.Errorf("finding %q does not name its analyzer", f)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// The -vettool protocol, reimplemented from the standard library up.
+//
+// `go vet -vettool=prog ./...` drives prog through a small protocol:
+//
+//  1. `prog -V=full` must print "name version ... buildID=<id>" so
+//     cmd/go can key its action cache on the tool's content.
+//  2. `prog -flags` must print a JSON description of the analyzer
+//     flags the tool accepts (ours: none, the empty list).
+//  3. For every package unit, cmd/go materializes a vet.cfg JSON file
+//     (file lists, the import map, and per-dependency export-data
+//     paths) and invokes `prog [flags] path/to/vet.cfg`. The tool
+//     parses and type-checks the unit itself, writes the "facts"
+//     output file cmd/go told it to (VetxOutput — empty for us, the
+//     analyzers are fact-free), prints diagnostics to stderr, and
+//     exits 2 when it found any.
+//
+// Dependencies are type-checked from the export-data files named in
+// the config via go/importer's lookup hook, so a whole-module run
+// costs one parse+check per package, the same as stock `go vet`.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// vetConfig mirrors the vet.cfg JSON that cmd/go hands a vettool; the
+// field set tracks cmd/go/internal/work's vetConfig struct. Unknown
+// fields are ignored, so newer toolchains that add fields stay
+// compatible.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // source import path -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	Standard    map[string]bool
+
+	PackageVetx map[string]string // canonical path -> dependency facts (unused)
+	VetxOnly    bool              // only facts are wanted: no diagnostics
+	VetxOutput  string            // where to write this unit's facts
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Vet is the entry point of a vettool binary: it interprets the
+// cmd/go protocol flags and runs the analyzers over the unit.
+func Vet(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	fs.Int("c", -1, "display offending line plus this many lines of context (accepted, ignored)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] vet.cfg\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		// cmd/go requires at least "name version ver", and for a
+		// "devel" version a trailing buildID= token that identifies
+		// this exact binary; hash the executable for that.
+		if *versionFlag != "full" {
+			fmt.Fprintf(os.Stderr, "%s: unsupported flag -V=%s\n", progname, *versionFlag)
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(os.Args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: reading self for build ID: %v\n", progname, err)
+			os.Exit(1)
+		}
+		sum := sha256.Sum256(data)
+		fmt.Printf("%s version devel buildID=%02x\n", progname, sum)
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		// No analyzer exposes flags; cmd/go expects a JSON array.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	findings, err := runUnit(fs.Arg(0), analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(findings) > 0 {
+		if *jsonFlag {
+			json.NewEncoder(os.Stderr).Encode(findings)
+		} else {
+			for _, f := range findings {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", f.Posn, f.Message)
+			}
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// runUnit analyzes one vet.cfg unit and returns the findings.
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// cmd/go records the facts file as this action's output and feeds
+	// it to dependents, so it must exist even though our analyzers are
+	// fact-free (an empty file decodes as "no facts").
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency analyzed only for facts: nothing to report.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// The lookup may be queried with either spelling of a path:
+		// as written in source (resolve through ImportMap) or already
+		// canonical (references inside export data).
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if canon, mapped := cfg.ImportMap[path]; mapped {
+				file, ok = cfg.PackageFile[canon]
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	typesImporter := importerFunc(func(importPath string) (*types.Package, error) {
+		canon, ok := cfg.ImportMap[importPath]
+		if !ok {
+			canon = importPath
+		}
+		if canon == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.(types.ImporterFrom).ImportFrom(canon, cfg.Dir, 0)
+	})
+
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	tconf := types.Config{
+		Importer:  typesImporter,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, arch),
+	}
+	info := NewTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	return RunAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,192 @@
+// Package analysistest runs a lint analyzer over golden-file packages
+// and checks its diagnostics against // want comments, mirroring the
+// x/tools package of the same name.
+//
+// A test package lives under testdata/src/<path>/ and is loaded
+// GOPATH-style: imports resolve against testdata/src first, so a
+// golden file that needs "time" or "math/rand" imports a tiny fake
+// defined in the same testdata tree — the analyzers match packages by
+// import path and symbol name, never by behavior, so a fake with the
+// right path exercises exactly the production code path without
+// needing compiled standard-library export data.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// Each quoted pattern must match the message of one diagnostic
+// reported on that line; diagnostics with no matching pattern, and
+// patterns with no matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"branchlab/internal/lint/analysis"
+)
+
+// Run loads each package path from dir (a testdata root) and applies
+// the analyzer, failing t on any mismatch between diagnostics and
+// // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		src:  filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loadedPkg),
+	}
+	for _, path := range pkgpaths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		findings, err := analysis.RunAnalyzers(ld.fset, lp.files, lp.pkg, lp.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, ld.fset, lp.files, findings)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+}
+
+// load parses and type-checks the package in src/<path>, resolving its
+// imports recursively through the same testdata tree.
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			dep, err := ld.load(importPath)
+			if err != nil {
+				return nil, err
+			}
+			return dep.pkg, nil
+		}),
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one still-unmatched // want pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// check compares findings against the files' // want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var want []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				posn := fset.Position(c.Pos())
+				for _, pat := range wantPatterns(t, posn, c.Text) {
+					want = append(want, &expectation{file: posn.Filename, line: posn.Line, re: pat})
+				}
+			}
+		}
+	}
+	for _, fd := range findings {
+		matched := false
+		for i, w := range want {
+			if w != nil && w.file == fd.Posn.Filename && w.line == fd.Posn.Line && w.re.MatchString(fd.Message) {
+				want[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	for _, w := range want {
+		if w != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantPatterns extracts the quoted regexps of one // want comment.
+func wantPatterns(t *testing.T, posn token.Position, comment string) []*regexp.Regexp {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed // want comment at %q", posn, rest)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: unquoting %s: %v", posn, q, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			t.Fatalf("%s: bad // want pattern %q: %v", posn, unq, err)
+		}
+		pats = append(pats, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return pats
+}

@@ -1,0 +1,12 @@
+package blockalias_test
+
+import (
+	"testing"
+
+	"branchlab/internal/lint/analysistest"
+	"branchlab/internal/lint/blockalias"
+)
+
+func TestBlockAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", blockalias.Analyzer, "a")
+}

@@ -1,0 +1,120 @@
+// Package a is the blockalias analyzer's golden file. The stream type
+// mirrors the trace.BlockStream shape: matching is structural (any
+// no-arg NextBlock method returning a slice), so the golden package
+// needs no import of the real trace package.
+package a
+
+type Inst struct{ IP uint64 }
+
+type stream struct{ buf []Inst }
+
+func (s *stream) NextBlock() []Inst { return s.buf }
+
+type sink struct {
+	held []Inst
+	all  [][]Inst
+	byIP map[uint64][]Inst
+	ch   chan []Inst
+}
+
+var global []Inst
+
+// --- retaining positions: all flagged ---
+
+func storeField(k *sink, s *stream) {
+	blk := s.NextBlock()
+	k.held = blk // want `stored in a field`
+}
+
+func storeFieldDirect(k *sink, s *stream) {
+	k.held = s.NextBlock() // want `stored in a field`
+}
+
+func storeElement(k *sink, s *stream) {
+	blk := s.NextBlock()
+	k.byIP[blk[0].IP] = blk // want `stored in a map or slice element`
+}
+
+func storePackageLevel(s *stream) {
+	global = s.NextBlock() // want `stored in a package-level variable`
+}
+
+func send(k *sink, s *stream) {
+	k.ch <- s.NextBlock() // want `sent on a channel`
+}
+
+func appendWhole(k *sink, s *stream) {
+	blk := s.NextBlock()
+	k.all = append(k.all, blk) // want `appended as a whole block`
+}
+
+func ret(s *stream) []Inst {
+	return s.NextBlock() // want `returned to the caller`
+}
+
+func retSliced(s *stream) []Inst {
+	blk := s.NextBlock()
+	return blk[:1] // want `returned to the caller`
+}
+
+// Reslicing aliases the same storage; the alias is tracked.
+func aliasThroughReslice(k *sink, s *stream) {
+	blk := s.NextBlock()
+	tail := blk[1:]
+	k.held = tail // want `stored in a field`
+}
+
+func literal(s *stream) [][]Inst {
+	blk := s.NextBlock()
+	return [][]Inst{blk} // want `stored in a composite literal`
+}
+
+// --- legal uses: never flagged ---
+
+// Consuming the block before the next call is the intended pattern.
+func consume(s *stream) (n uint64) {
+	for blk := s.NextBlock(); len(blk) > 0; blk = s.NextBlock() {
+		for i := range blk {
+			n += blk[i].IP
+		}
+	}
+	return
+}
+
+// Copying detaches from the shared storage: append with ... copies
+// the elements, not the slice header.
+func copyOut(k *sink, s *stream) {
+	blk := s.NextBlock()
+	k.held = append([]Inst(nil), blk...)
+}
+
+// Stream adapters named NextBlock hand blocks through by design.
+type limited struct {
+	s   *stream
+	rem int
+}
+
+func (l *limited) NextBlock() []Inst {
+	blk := l.s.NextBlock()
+	if len(blk) > l.rem {
+		blk = blk[:l.rem]
+	}
+	l.rem -= len(blk)
+	return blk
+}
+
+// A method that takes arguments is not a BlockStream.
+type notAStream struct{ buf []Inst }
+
+func (n *notAStream) NextBlock(max int) []Inst { return n.buf[:max] }
+
+func otherNextBlock(k *sink, n *notAStream) {
+	k.held = n.NextBlock(1)
+}
+
+// --- suppression ---
+
+func suppressedStore(k *sink, s *stream) {
+	//lint:ignore blockalias the sink is drained before the next NextBlock call
+	k.held = s.NextBlock()
+}

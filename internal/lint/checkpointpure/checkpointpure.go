@@ -1,0 +1,117 @@
+// Package checkpointpure flags CheckpointSave / CheckpointRestore
+// methods that reference package-level mutable state or draw ambient
+// entropy — the failure mode PR 5's typed-error resume fallback exists
+// to contain.
+//
+// The checkpoint contract (internal/program, DESIGN.md §6): a
+// checkpoint resumed on any worker at any time must regenerate
+// byte-identical instructions. That holds only if save and restore are
+// pure functions of the receiver and their arguments. A save that
+// reads a package-level counter bakes one process's history into the
+// snapshot; a restore that consults a global produces state the
+// capture never saw; either way the resumed generation silently
+// diverges from the skim path and the determinism matrix reports a
+// byte diff with no hint of the cause.
+//
+// Matching is structural: any method named CheckpointSave or
+// CheckpointRestore is held to the contract (every implementation of
+// program.CheckpointPayload is, by construction). Flagged inside them:
+//
+//   - reads or writes of package-level variables, in any package
+//     (sentinel error values are exempt: comparing against a fixed
+//     error identity is pure);
+//   - time.Now calls and any use of math/rand — entropy must come
+//     from the xrand stream captured in the checkpoint itself.
+package checkpointpure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"branchlab/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "checkpointpure",
+	Doc:  "flags checkpoint save/restore methods that touch package-level state or ambient entropy",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Recv == nil || fd.Body == nil {
+				return false
+			}
+			if name := fd.Name.Name; name == "CheckpointSave" || name == "CheckpointRestore" {
+				checkBody(pass, fd)
+			}
+			return false
+		})
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	method := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		switch obj := obj.(type) {
+		case *types.Var:
+			if isPackageLevel(obj) && !isSentinelError(obj) {
+				pass.Reportf(id.Pos(),
+					"%s references package-level variable %s: checkpoint save/restore must be a pure function of the receiver (a resumed generation would diverge from the skim path)",
+					method, obj.Name())
+			}
+		case *types.Func:
+			if obj.Pkg() == nil {
+				return true
+			}
+			switch path := obj.Pkg().Path(); {
+			case path == "time" && obj.Name() == "Now":
+				pass.Reportf(id.Pos(),
+					"%s calls time.Now: checkpoints must not capture wall-clock entropy", method)
+			case path == "math/rand" || path == "math/rand/v2":
+				pass.Reportf(id.Pos(),
+					"%s uses %s.%s: checkpoint entropy must come from the captured xrand stream", method, path, obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isSentinelError reports whether v is an error-typed package variable
+// (errors.New-style sentinel); comparing against one is pure.
+func isSentinelError(v *types.Var) bool {
+	named, ok := v.Type().(*types.Named)
+	if ok && named.Obj() != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	// Also accept interfaces with an Error() string method (wrapped
+	// sentinel types).
+	iface, ok := v.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Error" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package checkpointpure_test
+
+import (
+	"testing"
+
+	"branchlab/internal/lint/analysistest"
+	"branchlab/internal/lint/checkpointpure"
+)
+
+func TestCheckpointPure(t *testing.T) {
+	analysistest.Run(t, "testdata", checkpointpure.Analyzer, "a")
+}

@@ -1,0 +1,71 @@
+// Package a is the checkpointpure analyzer's golden file: a payload
+// whose save/restore methods touch ambient state, next to one that
+// honors the contract.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+var captureCount uint64
+
+var errRejected error // sentinel: identity comparison is pure
+
+type impure struct {
+	state []uint64
+	stamp time.Time
+}
+
+func (p *impure) CheckpointSave() []uint64 {
+	captureCount++       // want `CheckpointSave references package-level variable captureCount`
+	p.stamp = time.Now() // want `CheckpointSave calls time\.Now`
+	_ = rand.Uint64()    // want `CheckpointSave uses math/rand\.Uint64`
+	return p.state
+}
+
+func (p *impure) CheckpointRestore(st []uint64) bool {
+	if captureCount > 0 { // want `CheckpointRestore references package-level variable captureCount`
+		return false
+	}
+	p.state = append(p.state[:0], st...)
+	return true
+}
+
+type pure struct {
+	state []uint64
+	err   error
+}
+
+func (p *pure) CheckpointSave() []uint64 {
+	// Receiver state and sentinel-error identity are both pure.
+	if p.err == errRejected {
+		return nil
+	}
+	return append([]uint64(nil), p.state...)
+}
+
+func (p *pure) CheckpointRestore(st []uint64) bool {
+	p.state = append(p.state[:0], st...)
+	return true
+}
+
+// Methods outside the checkpoint contract may use package state.
+func (p *pure) observe() {
+	captureCount++
+}
+
+// --- suppression ---
+
+type counted struct{ state []uint64 }
+
+func (c *counted) CheckpointSave() []uint64 {
+	//lint:ignore checkpointpure capture metric only, never serialized into the snapshot
+	captureCount++
+	return c.state
+}
+
+func (c *counted) CheckpointRestore(st []uint64) bool {
+	c.state = st
+	return true
+}

@@ -1,0 +1,9 @@
+// Package time is a minimal stand-in for the standard library's time
+// package (the analyzer matches by import path and symbol name).
+package time
+
+// Time is a placeholder for time.Time.
+type Time struct{ wall uint64 }
+
+// Now mimics time.Now's signature.
+func Now() Time { return Time{} }

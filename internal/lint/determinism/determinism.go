@@ -1,0 +1,322 @@
+// Package determinism flags code whose output can depend on map
+// iteration order or ambient entropy — the bug class behind PR 1's
+// sortedTotals fix, where a float accumulation over an unsorted map
+// range produced artifacts that differed between byte-identical runs.
+//
+// Every branchlab artifact must be a pure function of (workload, seed,
+// budget, geometry); see DESIGN.md "Statically enforced invariants".
+// The analyzer reports:
+//
+//   - range loops over maps whose bodies accumulate into a shared
+//     float accumulator, append to a slice that is never sorted in the
+//     same function, or write output through Print/Fprint/Write/Encode
+//     calls — all order-sensitive; iterate sorted keys instead;
+//   - imports of math/rand and math/rand/v2 anywhere outside
+//     internal/xrand: their streams are not stable across Go releases,
+//     and unseeded draws differ across runs;
+//   - calls to time.Now outside _test.go files: wall-clock values must
+//     never reach an artifact.
+//
+// Per-key updates (m[k] += v), integer accumulation, and deletes
+// inside map ranges are order-independent and are not flagged.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"branchlab/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flags map-iteration-order and ambient-entropy dependencies in artifact-producing code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// xrand is the one place entropy primitives are allowed to live.
+	exempt := strings.HasSuffix(pass.Pkg.Path(), "internal/xrand")
+	for _, file := range pass.Files {
+		if !exempt {
+			checkEntropy(pass, file)
+		}
+		checkMapRanges(pass, file)
+	}
+	return nil, nil
+}
+
+// checkEntropy flags math/rand imports and time.Now calls.
+func checkEntropy(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"import of %s: its streams are not reproducible across Go releases; use internal/xrand (seeded, version-stable)", path)
+		}
+	}
+	// Wall-clock timing is fine in tests (deadlines, benchmarks) but
+	// never in code that can feed an artifact.
+	if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Name() == "Now" && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			pass.Reportf(sel.Pos(),
+				"time.Now: artifacts must be pure functions of (seed, budget); keep wall-clock time out of output paths or //lint:ignore with a reason")
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags order-sensitive statements inside `range m`
+// loops where m is a map.
+func checkMapRanges(pass *analysis.Pass, file *ast.File) {
+	// Map from function body to the range statements it contains, so
+	// the append check can look for a later sort in the same function.
+	var funcStack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcStack = append(funcStack, n.Body)
+					walk(n.Body)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, n.Body)
+				walk(n.Body)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						var scope ast.Node
+						if len(funcStack) > 0 {
+							scope = funcStack[len(funcStack)-1]
+						}
+						checkMapRangeBody(pass, n, scope)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(file)
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rng *ast.RangeStmt, funcBody ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rng, n)
+			checkAppend(pass, rng, funcBody, n)
+		case *ast.CallExpr:
+			checkWrite(pass, rng, n)
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags `acc += v` (and `acc = acc + v`) where acc is
+// a float accumulator shared across iterations. Per-key map updates
+// (m[k] += v) touch independent entries and are exempt.
+func checkFloatAccum(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[0]
+	if _, perKey := lhs.(*ast.IndexExpr); perKey {
+		return
+	}
+	if !isFloat(pass, lhs) {
+		return
+	}
+	accumulates := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accumulates = true
+	case token.ASSIGN:
+		// x = x + v style self-reference.
+		if obj := rootObject(pass, lhs); obj != nil {
+			ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					accumulates = true
+				}
+				return true
+			})
+		}
+	}
+	if !accumulates {
+		return
+	}
+	// An accumulator declared inside the loop body resets per
+	// iteration and cannot observe iteration order.
+	if obj := rootObject(pass, lhs); obj != nil && within(obj.Pos(), rng.Body) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"float accumulation in map-range loop: float addition is not associative, so the result depends on map iteration order; iterate sorted keys")
+}
+
+// checkAppend flags appends to a slice declared outside the loop,
+// unless the same function later passes that slice to a sort — the
+// collect-then-sort idiom is the canonical fix and stays legal.
+func checkAppend(pass *analysis.Pass, rng *ast.RangeStmt, funcBody ast.Node, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		} else if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		obj := rootObject(pass, call.Args[0])
+		if obj == nil || within(obj.Pos(), rng.Body) {
+			continue
+		}
+		if funcBody != nil && sortedInFunc(pass, funcBody, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s inside a map-range loop: element order follows map iteration order; sort %s afterwards or iterate sorted keys", obj.Name(), obj.Name())
+	}
+}
+
+// sortedInFunc reports whether obj is passed to (or is the receiver
+// of) a sort-like call anywhere in the function body.
+func sortedInFunc(pass *analysis.Pass, funcBody ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if !strings.Contains(name, "Sort") && !sortFuncNames[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == obj {
+				found = true
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && rootObject(pass, sel.X) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFuncNames are sort-package entry points that do not contain
+// "Sort" in their name.
+var sortFuncNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Slice": true,
+	"SliceStable": true, "Stable": true,
+}
+
+// checkWrite flags output calls (Print/Fprint/Write/Encode families)
+// whose destination outlives the loop.
+func checkWrite(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	name := ""
+	var dest ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		dest = fun.X // method call: the receiver is the destination
+	case *ast.Ident:
+		name = fun.Name
+	}
+	if !writeName(name) {
+		return
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		dest = call.Args[0] // Fprint family: first argument is the writer
+	}
+	if dest != nil {
+		// A destination declared inside the loop body (a per-iteration
+		// buffer) resets each pass and cannot observe iteration order.
+		// Package qualifiers (fmt.Println) are not destinations.
+		if obj := rootObject(pass, dest); obj != nil {
+			if _, isPkg := obj.(*types.PkgName); !isPkg && within(obj.Pos(), rng.Body) {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s inside a map-range loop writes output in map iteration order; iterate sorted keys", name)
+}
+
+func writeName(name string) bool {
+	for _, prefix := range []string{"Fprint", "Print", "Write", "Encode"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootObject unwraps selectors, indexes, parens, derefs and slices to
+// the base identifier's object.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos falls inside node's extent.
+func within(pos token.Pos, node ast.Node) bool {
+	return node != nil && node.Pos() <= pos && pos < node.End()
+}

@@ -1,0 +1,152 @@
+// Package a is the determinism analyzer's golden file: each // want
+// comment asserts one diagnostic, and the unannotated declarations
+// assert the idiomatic fixes stay clean.
+package a
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand: its streams are not reproducible`
+	"sort"
+	"time"
+)
+
+// --- ambient entropy ---
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now: artifacts must be pure functions`
+}
+
+func draw() int {
+	// The import is the diagnostic; uses are not re-flagged.
+	return rand.Int()
+}
+
+// --- float accumulation over map order ---
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation in map-range loop`
+	}
+	return total
+}
+
+func sumFloatsSelfAssign(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want `float accumulation in map-range loop`
+	}
+	return total
+}
+
+func sumFloatsField(m map[string]float64, acc *struct{ Sum float64 }) {
+	for _, v := range m {
+		acc.Sum += v // want `float accumulation in map-range loop`
+	}
+}
+
+// The fix: extract and sort the keys first, then iterate a slice.
+func sumFloatsSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: exempt
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Integer accumulation commutes exactly; not flagged.
+func sumInts(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Per-key updates touch independent entries; not flagged.
+func fold(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// A per-iteration accumulator resets each pass; not flagged.
+func perIteration(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		out[k] = total
+	}
+	return out
+}
+
+// --- appends in map order ---
+
+func collectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside a map-range loop`
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // sorted below: exempt
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- writes in map order ---
+
+func dump(w interface{}, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf inside a map-range loop`
+	}
+}
+
+func dumpStdout(m map[string]int) {
+	for k := range m {
+		fmt.Printf("%s\n", k) // want `Printf inside a map-range loop`
+	}
+}
+
+type builder struct{ s string }
+
+func (b *builder) WriteString(s string) {}
+
+// A per-iteration buffer cannot observe iteration order; not flagged.
+func perKeyBuffer(m map[string]int, out map[string]string) {
+	for k := range m {
+		var b builder
+		b.WriteString(k)
+		out[k] = b.s
+	}
+}
+
+func sharedBuffer(b *builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside a map-range loop`
+	}
+}
+
+// --- suppression ---
+
+func suppressed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore determinism diagnostic-only total, never reaches an artifact
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+// Package rand is a minimal stand-in for math/rand: the analyzers
+// flag the import path itself, so only the names matter.
+package rand
+
+// Int mimics rand.Int.
+func Int() int { return 4 }
+
+// Intn mimics rand.Intn.
+func Intn(n int) int { return 0 }

@@ -1,0 +1,12 @@
+// Package sort is a minimal stand-in for the standard library's sort
+// package, for golden tests of the collect-then-sort exemption.
+package sort
+
+// Strings mimics sort.Strings.
+func Strings(s []string) {}
+
+// Ints mimics sort.Ints.
+func Ints(s []int) {}
+
+// Slice mimics sort.Slice.
+func Slice(x interface{}, less func(i, j int) bool) {}

@@ -1,0 +1,10 @@
+// Package time is a minimal stand-in for the standard library's time
+// package: the determinism analyzer matches by import path and symbol
+// name only, so golden tests need the names, not the behavior.
+package time
+
+// Time is a placeholder for time.Time.
+type Time struct{ wall uint64 }
+
+// Now mimics time.Now's signature.
+func Now() Time { return Time{} }

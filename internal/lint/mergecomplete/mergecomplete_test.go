@@ -1,0 +1,12 @@
+package mergecomplete_test
+
+import (
+	"testing"
+
+	"branchlab/internal/lint/analysistest"
+	"branchlab/internal/lint/mergecomplete"
+)
+
+func TestMergeComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", mergecomplete.Analyzer, "a")
+}

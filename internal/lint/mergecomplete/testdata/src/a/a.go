@@ -1,0 +1,87 @@
+// Package a is the mergecomplete analyzer's golden file: mergeable
+// collectors in the shapes the real tree uses, one of which drops a
+// field in Merge.
+package a
+
+// leaky drops its reservoir rng state on merge: the seeded-violation
+// case. The diagnostic lands on the field, so the annotation that
+// waives it would document the field itself.
+type leaky struct {
+	K      int
+	Sample []uint64
+	N      uint64
+	rng    uint64 // want `field rng of leaky is not referenced by Merge`
+}
+
+func (r *leaky) next() uint64 {
+	r.rng += 0x9e3779b97f4a7c15
+	return r.rng
+}
+
+func (r *leaky) Add(v uint64) {
+	r.N++
+	if len(r.Sample) < r.K {
+		r.Sample = append(r.Sample, v)
+	}
+}
+
+func (r *leaky) Merge(o *leaky) {
+	for _, v := range o.Sample {
+		r.Add(v)
+	}
+	r.N += o.N - uint64(len(o.Sample))
+}
+
+// complete references every field, partly through a same-package
+// helper: the transitive closure keeps it clean.
+type complete struct {
+	a, b uint64
+	hist []uint64
+}
+
+func (c *complete) Observe(v uint64) {
+	c.a += v
+	c.hist = append(c.hist, v)
+}
+
+func (c *complete) Merge(o *complete) {
+	c.a += o.a
+	c.fold(o)
+}
+
+func (c *complete) fold(o *complete) {
+	c.b += o.b
+	c.hist = append(c.hist, o.hist...)
+}
+
+// noObserver has no observation method, so it is outside the sharded
+// collector contract: nothing is flagged.
+type noObserver struct {
+	x, y int
+}
+
+func (n *noObserver) Merge(o *noObserver) { n.x += o.x }
+
+// mismatched's Merge takes a different type: not a mergeable
+// collector, nothing is flagged.
+type mismatched struct {
+	z int
+}
+
+func (m *mismatched) Add(v int)         { m.z += v }
+func (m *mismatched) Merge(o *complete) { _ = o }
+
+// annotated declares why its config field does not merge.
+type annotated struct {
+	vals []uint64
+	cfg  int //lint:ignore mergecomplete construction-time configuration, identical across shards
+}
+
+func (t *annotated) Observe(v uint64) {
+	t.vals = append(t.vals, v)
+	_ = t.cfg
+}
+
+func (t *annotated) Merge(o *annotated) {
+	t.vals = append(t.vals, o.vals...)
+}

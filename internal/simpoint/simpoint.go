@@ -27,10 +27,10 @@ type BBVCollector struct {
 	Dim      int
 	vectors  [][]float64
 	cur      []float64
-	curIdx   int
+	curIdx   int //lint:ignore mergecomplete cursor cache: Merge flushes cur to nil, so the next Inst re-resolves the slice index
 	// end is the first instruction index past the current slice;
 	// comparing against it replaces a per-instruction division.
-	end uint64
+	end uint64 //lint:ignore mergecomplete cursor cache: rewritten with curIdx on the cur == nil path of Inst
 }
 
 // NewBBVCollector returns a collector with the given slice length and

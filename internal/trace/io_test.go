@@ -2,9 +2,10 @@ package trace
 
 import (
 	"bytes"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"branchlab/internal/xrand"
 )
 
 func TestIORoundTrip(t *testing.T) {
@@ -117,7 +118,7 @@ func TestZigzag(t *testing.T) {
 
 // TestIORandomInstProperty round-trips randomly generated instructions.
 func TestIORandomInstProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	gen := func() Inst {
 		inst := Inst{
 			IP:      rng.Uint64() % (1 << 40),

@@ -111,7 +111,14 @@ func newGen(e *program.Emitter, m mix, input int) *gen {
 		g.soloVal[i] = uint64(7777 + 128*i)
 	}
 	if n := m.h2pPairs + m.h2pSolo; n > 0 {
-		g.h2pPick = xrand.NewZipf(g.r, n, 1.1)
+		z, err := xrand.NewZipf(g.r, n, 1.1)
+		if err != nil {
+			// Unreachable: n > 0 is guarded above and the exponent is a
+			// positive constant, but a mix-table edit that breaks this
+			// should fail loudly, not sample from a nil Zipf.
+			panic(err)
+		}
+		g.h2pPick = z
 	}
 	// Scale the cold footprint with the instruction budget, preserving
 	// the paper's per-30M-slice static counts (DESIGN.md §1).

@@ -17,6 +17,15 @@ import (
 // Checkpoint that never went through a real capture.
 var ErrZeroState = errors.New("xrand: all-zero generator state")
 
+// ErrNonPositiveRanks is returned by NewZipf when the rank count is not
+// positive: a Zipf distribution needs at least one rank to sample.
+var ErrNonPositiveRanks = errors.New("xrand: Zipf rank count must be positive")
+
+// ErrNonPositiveExponent is returned by NewZipf when the exponent is not
+// positive: s <= 0 inverts or flattens the rank-frequency law and never
+// describes the hot-code skew the samplers model.
+var ErrNonPositiveExponent = errors.New("xrand: Zipf exponent must be positive")
+
 // SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
 // used both as a standalone generator and to seed Xoshiro256.
 type SplitMix64 struct {
@@ -174,10 +183,16 @@ type Zipf struct {
 }
 
 // NewZipf builds a Zipf sampler over n ranks with exponent s (s > 0; larger
-// s concentrates mass on low ranks).
-func NewZipf(r *Rand, n int, s float64) *Zipf {
+// s concentrates mass on low ranks). Invalid arguments return a typed
+// error (ErrNonPositiveRanks, ErrNonPositiveExponent) rather than
+// panicking, so callers deriving n from workload parameters can surface
+// a configuration mistake instead of dying mid-synthesis.
+func NewZipf(r *Rand, n int, s float64) (*Zipf, error) {
 	if n <= 0 {
-		panic("xrand: NewZipf with non-positive n")
+		return nil, ErrNonPositiveRanks
+	}
+	if s <= 0 {
+		return nil, ErrNonPositiveExponent
 	}
 	cum := make([]float64, n)
 	total := 0.0
@@ -188,7 +203,7 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 	for i := range cum {
 		cum[i] /= total
 	}
-	return &Zipf{cum: cum, r: r}
+	return &Zipf{cum: cum, r: r}, nil
 }
 
 // Next returns the next sampled rank in [0, n).

@@ -1,6 +1,7 @@
 package xrand
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -159,7 +160,10 @@ func TestNormFloat64Moments(t *testing.T) {
 
 func TestZipfSkew(t *testing.T) {
 	r := New(123)
-	z := NewZipf(r, 100, 1.2)
+	z, err := NewZipf(r, 100, 1.2)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
 	counts := make([]int, 100)
 	const trials = 100000
 	for i := 0; i < trials; i++ {
@@ -178,13 +182,27 @@ func TestZipfSkew(t *testing.T) {
 	}
 }
 
-func TestZipfPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewZipf(0) did not panic")
+func TestZipfInvalidArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		s    float64
+		want error
+	}{
+		{"zero ranks", 0, 1, ErrNonPositiveRanks},
+		{"negative ranks", -5, 1, ErrNonPositiveRanks},
+		{"zero exponent", 10, 0, ErrNonPositiveExponent},
+		{"negative exponent", 10, -1.2, ErrNonPositiveExponent},
+	}
+	for _, tc := range cases {
+		z, err := NewZipf(New(1), tc.n, tc.s)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: NewZipf(%d, %v) err = %v, want %v", tc.name, tc.n, tc.s, err, tc.want)
 		}
-	}()
-	NewZipf(New(1), 0, 1)
+		if z != nil {
+			t.Errorf("%s: NewZipf returned non-nil sampler alongside error", tc.name)
+		}
+	}
 }
 
 func TestMul64(t *testing.T) {
