@@ -25,6 +25,7 @@
 package branchlab
 
 import (
+	"context"
 	"io"
 
 	"branchlab/internal/bp"
@@ -35,6 +36,7 @@ import (
 	"branchlab/internal/phase"
 	"branchlab/internal/pipeline"
 	"branchlab/internal/program"
+	"branchlab/internal/report"
 	"branchlab/internal/simpoint"
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
@@ -212,6 +214,17 @@ func NewSlicedTraceCache(maxBytes int64, sliceInsts uint64) *TraceCache {
 	return tracecache.NewSliced(maxBytes, sliceInsts)
 }
 
+// RecordTraceCachedCtx is RecordTraceCached under a caller context: a
+// cancelled or deadline-expired recording returns a typed error (see
+// IsCancel) and never a truncated or wrong trace. Concurrent callers
+// coalesce; a cancelled waiter detaches without disturbing the shared
+// recording, and a cancelled leader hands the recording off to a
+// surviving waiter (DESIGN.md §9).
+func RecordTraceCachedCtx(ctx context.Context, c *TraceCache, spec *WorkloadSpec, input int, budget uint64) (Replayable, error) {
+	return c.RecordCtx(ctx, spec.Name, input, budget,
+		spec.CacheSource(input, budget, nil, 1, workload.CkptPerCacheSlice))
+}
+
 // RecordTraceCached is RecordTrace through a shared cache: it records on
 // the first request for (spec, input, budget) and serves replayable
 // views from memory afterwards, re-materializing any slice the cache
@@ -304,4 +317,34 @@ func NewEnginePool(workers int) *EnginePool { return engine.New(workers) }
 // in index order — byte-identical merges regardless of worker count.
 func ParallelMap[T any](p *EnginePool, n int, fn func(i int) T) []T {
 	return engine.Map(p, n, fn)
+}
+
+// ParallelMapErr is ParallelMap with cancellation and typed failure: a
+// unit error or panic fails the run (lowest-indexed unit wins,
+// deterministically), a cancelled context stops dispatch and returns a
+// *CancelError listing the completed units. Workers never outlive the
+// call (DESIGN.md §9).
+func ParallelMapErr[T any](ctx context.Context, p *EnginePool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return engine.MapErr(ctx, p, n, fn)
+}
+
+// PanicError attributes a recovered work-unit panic to its cell; the
+// run fails typed, the process survives.
+type PanicError = engine.PanicError
+
+// CancelError reports a cancellation or expired deadline along with
+// which work units had already completed.
+type CancelError = engine.CancelError
+
+// IsCancel reports whether err is cancellation-classified (context
+// cancellation, deadline expiry, or a *CancelError) as opposed to a
+// real failure. Retry policies branch on this.
+func IsCancel(err error) bool { return engine.IsCancel(err) }
+
+// RunExperiment runs one experiment driver under ctx with cfg's
+// deadline applied, recovering panics into typed errors. On success it
+// returns the driver's artifact; on failure a typed error and no
+// artifact — never a partial one.
+func RunExperiment(ctx context.Context, r experiments.Runner, cfg ExperimentConfig) (*report.Artifact, error) {
+	return r.RunCtx(ctx, cfg)
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"branchlab/internal/cliutil"
 	"branchlab/internal/core"
 	"branchlab/internal/engine"
+	"branchlab/internal/faultinject"
 	"branchlab/internal/pipeline"
 	"branchlab/internal/trace"
 	"branchlab/internal/tracecache"
@@ -49,11 +51,20 @@ func main() {
 		cacheMB      = flag.Int64("tracecache", 0, "trace cache cap in MiB (0 = unbounded; evicted slices re-record byte-identically); setting it forces caching even for single-scale runs")
 		cacheSlice   = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
 		ckptSlice    = flag.Uint64("ckptslice", tracecache.DefaultSliceInsts, "payload checkpoint spacing in instructions for O(window) evicted-slice refills (0 = no checkpoints)")
+		deadline     = flag.Duration("deadline", 0, "whole-invocation wall-clock bound (0 = none); an expired run fails typed, never prints truncated results")
 		cacheStats   = tracecache.StatsFlag(nil)
 		list         = flag.Bool("list", false, "list workloads and predictors")
 		top          = flag.Int("top", 0, "print the top-N mispredicting branches")
 	)
 	flag.Parse()
+
+	// Fault-injection sweeps arm a seeded plan via BRANCHLAB_FAULTSEED;
+	// builds without the faultinject tag refuse the variable so a sweep
+	// can never silently run unfaulted.
+	if err := faultinject.ActivateFromEnv(os.LookupEnv); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsim:", err)
+		os.Exit(1)
+	}
 	topN = *top
 	cacheCap = *cacheMB << 20
 	cacheSliceInsts = *cacheSlice
@@ -95,6 +106,8 @@ func main() {
 		CacheEnabled:  cacheWillExist,
 		CacheSliceSet: cliutil.Provided(nil, "cacheslice"),
 		CkptSliceSet:  cliutil.Provided(nil, "ckptslice"),
+		Deadline:      *deadline,
+		DeadlineSet:   cliutil.Provided(nil, "deadline"),
 	}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
@@ -115,7 +128,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*workloadName, *input, *traceFile, *predName, *budget, *sliceLen, scales, *parallel, *recShards); err != nil {
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	if err := run(ctx, *workloadName, *input, *traceFile, *predName, *budget, *sliceLen, scales, *parallel, *recShards); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
@@ -148,7 +167,7 @@ var (
 	printCacheStats bool
 )
 
-func run(workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScales []int, parallel, recShards int) error {
+func run(ctx context.Context, workloadName string, input int, traceFile, predName string, budget, sliceLen uint64, pipeScales []int, parallel, recShards int) error {
 	pred, err := zoo.New(predName)
 	if err != nil {
 		return err
@@ -182,11 +201,14 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 			return nil, nil, fmt.Errorf("unknown workload %q (use -list)", workloadName)
 		}
 		if cache == nil {
-			s := spec.Stream(input, budget)
+			s := spec.StreamCtx(ctx, input, budget)
 			return s, func() { trace.CloseStream(s) }, nil
 		}
-		tr := cache.Record(spec.Name, input, budget,
-			spec.CacheSource(input, budget, engine.New(parallel), recShards, ckptSliceInsts))
+		tr, err := cache.RecordCtx(ctx, spec.Name, input, budget,
+			spec.CacheSource(input, budget, engine.New(parallel).WithContext(ctx), recShards, ckptSliceInsts))
+		if err != nil {
+			return nil, nil, err
+		}
 		return tr.Stream(), func() {}, nil
 	}
 
@@ -198,6 +220,11 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 
 	col := core.NewCollector(sliceLen)
 	st := core.Run(s, pred, col)
+	// A stream that ended early (cancellation, payload failure) delivered
+	// a truncated prefix: fail before printing anything computed from it.
+	if err := trace.StreamErr(s); err != nil {
+		return err
+	}
 
 	fmt.Printf("predictor:        %s\n", pred.Name())
 	fmt.Printf("instructions:     %d\n", st.Insts)
@@ -254,29 +281,31 @@ func run(workloadName string, input int, traceFile, predName string, budget, sli
 		// cached recording (synthesized once, bounded by -budget); -trace
 		// files re-open and stream at O(1) memory, since they can be
 		// arbitrarily large.
-		type timed struct {
-			res pipeline.Result
-			err error
+		results, err := engine.MapSliceErr(ctx, engine.New(parallel), pipeScales,
+			func(_ context.Context, scale int, _ int) (pipeline.Result, error) {
+				s2, cleanup2, err := open()
+				if err != nil {
+					return pipeline.Result{}, err
+				}
+				defer cleanup2()
+				pred2, err := zoo.New(predName)
+				if err != nil {
+					return pipeline.Result{}, err
+				}
+				res := pipeline.New(pipeline.Skylake().Scaled(scale)).
+					Run(s2, pipeline.Options{Predictor: pred2})
+				// A truncated stream times a prefix, not the run: fail the
+				// cell rather than report a wrong IPC.
+				if serr := trace.StreamErr(s2); serr != nil {
+					return pipeline.Result{}, serr
+				}
+				return res, nil
+			})
+		if err != nil {
+			return err
 		}
-		results := engine.MapSlice(engine.New(parallel), pipeScales, func(scale int, _ int) timed {
-			s2, cleanup2, err := open()
-			if err != nil {
-				return timed{err: err}
-			}
-			defer cleanup2()
-			pred2, err := zoo.New(predName)
-			if err != nil {
-				return timed{err: err}
-			}
-			res := pipeline.New(pipeline.Skylake().Scaled(scale)).
-				Run(s2, pipeline.Options{Predictor: pred2})
-			return timed{res: res}
-		})
 		for i, scale := range pipeScales {
-			if results[i].err != nil {
-				return results[i].err
-			}
-			res := results[i].res
+			res := results[i]
 			fmt.Printf("pipeline %dx:      IPC %.3f (%.2f MPKI, %.2f L1D miss PKI)\n",
 				scale, res.IPC, res.MPKI, res.L1DMissPKI)
 		}

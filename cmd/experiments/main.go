@@ -33,13 +33,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"branchlab/internal/cliutil"
+	"branchlab/internal/engine"
 	"branchlab/internal/experiments"
+	"branchlab/internal/faultinject"
 	"branchlab/internal/tracecache"
 )
 
@@ -55,9 +58,18 @@ func main() {
 		cacheSl  = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
 		ckptSl   = flag.Uint64("ckptslice", tracecache.DefaultSliceInsts, "payload checkpoint spacing in instructions for O(window) evicted-slice refills (0 = no checkpoints)")
 		shards   = flag.Int("recshards", 0, "record each trace on this many workers (<= 1 = sequential; output is byte-identical)")
+		deadline = flag.Duration("deadline", 0, "per-experiment wall-clock bound (0 = none); an expired run fails typed, never prints partial artifacts")
 		stats    = tracecache.StatsFlag(nil)
 	)
 	flag.Parse()
+
+	// Fault-injection sweeps arm a seeded plan via BRANCHLAB_FAULTSEED;
+	// builds without the faultinject tag refuse the variable so a sweep
+	// can never silently run unfaulted.
+	if err := faultinject.ActivateFromEnv(os.LookupEnv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -96,10 +108,13 @@ func main() {
 		CacheEnabled:  *cacheMB != 0,
 		CacheSliceSet: cliutil.Provided(nil, "cacheslice"),
 		CkptSliceSet:  cliutil.Provided(nil, "ckptslice"),
+		Deadline:      *deadline,
+		DeadlineSet:   cliutil.Provided(nil, "deadline"),
 	}).Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	cfg.Deadline = *deadline
 	if *cacheMB != 0 {
 		limit := *cacheMB << 20
 		if limit < 0 {
@@ -118,14 +133,33 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 	// Artifacts go to stdout; timing goes to stderr so stdout is
-	// byte-identical across runs and worker counts (diff-able).
+	// byte-identical across runs and worker counts (diff-able). A run
+	// that fails — deadline, injected fault, poisoned cell — stops at
+	// the first failed experiment with a typed error on stderr: stdout
+	// stays a byte-prefix of a successful run's output, never a partial
+	// or wrong artifact (DESIGN.md §9).
+	completed := 0
 	for _, r := range runners {
 		//lint:ignore determinism progress timing goes to stderr only; the artifact on stdout never sees it
 		start := time.Now()
-		artifact := r.Run(cfg)
+		artifact, err := r.RunErr(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			var ce *engine.CancelError
+			if errors.As(err, &ce) {
+				fmt.Fprintf(os.Stderr, "experiments: %s cancelled with %d/%d work units complete\n",
+					r.ID, len(ce.Completed), ce.Total)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: completed %d/%d experiments\n", completed, len(runners))
+			if *stats {
+				tracecache.WriteStats(os.Stderr, cfg.Cache)
+			}
+			os.Exit(1)
+		}
 		fmt.Print(artifact.String())
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+		completed++
 	}
 	if *stats {
 		tracecache.WriteStats(os.Stderr, cfg.Cache)

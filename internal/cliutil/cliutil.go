@@ -9,6 +9,7 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"time"
 )
 
 // RunFlags are the effective (post-default, post-override) values of
@@ -24,6 +25,9 @@ type RunFlags struct {
 	CacheEnabled  bool // a trace cache will exist in this invocation
 	CacheSliceSet bool // -cacheslice explicitly provided
 	CkptSliceSet  bool // -ckptslice explicitly provided
+
+	Deadline    time.Duration // -deadline value (whole-invocation bound)
+	DeadlineSet bool          // -deadline explicitly provided
 }
 
 // Validate rejects flag combinations that would silently misbehave.
@@ -50,6 +54,9 @@ func (f RunFlags) Validate() error {
 	}
 	if f.CkptSliceSet && !f.CacheEnabled {
 		return fmt.Errorf("-ckptslice has no effect without an enabled trace cache (checkpoints live in cache headers; enable -tracecache)")
+	}
+	if f.DeadlineSet && f.Deadline <= 0 {
+		return fmt.Errorf("-deadline must be > 0 when set (an instantly expired run produces nothing)")
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package cliutil_test
 
 import (
 	"testing"
+	"time"
 
 	"branchlab/internal/cliutil"
 )
@@ -11,23 +12,27 @@ import (
 // agree on accept/reject, and Validate must never panic. The seed
 // corpus covers each rule's boundary from both sides.
 func FuzzValidateFlags(f *testing.F) {
-	seed := func(budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool) {
-		f.Add(budget, slice, parallel, recshards, cache, cacheSet, ckptSet)
+	seed := func(budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool, deadlineNs int64, deadlineSet bool) {
+		f.Add(budget, slice, parallel, recshards, cache, cacheSet, ckptSet, deadlineNs, deadlineSet)
 	}
-	seed(30_000_000, 1_000_000, 0, 0, false, false, false) // defaults, valid
-	seed(0, 1_000_000, 0, 0, false, false, false)          // zero budget
-	seed(30_000_000, 0, 0, 0, false, false, false)         // zero slice
-	seed(1, 1, -1, 0, false, false, false)                 // negative parallel
-	seed(1, 1, 0, -1, false, false, false)                 // negative recshards
-	seed(1, 1, 4, 8, false, false, false)                  // shards oversubscribe pool
-	seed(1, 1, 8, 8, false, false, false)                  // shards == pool, valid
-	seed(1, 1, 0, 8, false, false, false)                  // shards with NumCPU pool, valid
-	seed(1, 1, 1, 1, false, false, false)                  // sequential shard, valid
-	seed(1, 1, 0, 0, false, true, false)                   // cacheslice without cache
-	seed(1, 1, 0, 0, false, false, true)                   // ckptslice without cache
-	seed(1, 1, 0, 0, true, true, true)                     // cache geometry with cache, valid
+	seed(30_000_000, 1_000_000, 0, 0, false, false, false, 0, false) // defaults, valid
+	seed(0, 1_000_000, 0, 0, false, false, false, 0, false)          // zero budget
+	seed(30_000_000, 0, 0, 0, false, false, false, 0, false)         // zero slice
+	seed(1, 1, -1, 0, false, false, false, 0, false)                 // negative parallel
+	seed(1, 1, 0, -1, false, false, false, 0, false)                 // negative recshards
+	seed(1, 1, 4, 8, false, false, false, 0, false)                  // shards oversubscribe pool
+	seed(1, 1, 8, 8, false, false, false, 0, false)                  // shards == pool, valid
+	seed(1, 1, 0, 8, false, false, false, 0, false)                  // shards with NumCPU pool, valid
+	seed(1, 1, 1, 1, false, false, false, 0, false)                  // sequential shard, valid
+	seed(1, 1, 0, 0, false, true, false, 0, false)                   // cacheslice without cache
+	seed(1, 1, 0, 0, false, false, true, 0, false)                   // ckptslice without cache
+	seed(1, 1, 0, 0, true, true, true, 0, false)                     // cache geometry with cache, valid
+	seed(1, 1, 0, 0, false, false, false, 0, true)                   // zero deadline, set
+	seed(1, 1, 0, 0, false, false, false, -1, true)                  // negative deadline, set
+	seed(1, 1, 0, 0, false, false, false, 1_000_000_000, true)       // positive deadline, valid
+	seed(1, 1, 0, 0, false, false, false, -5, false)                 // unset deadline ignores value
 
-	f.Fuzz(func(t *testing.T, budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool) {
+	f.Fuzz(func(t *testing.T, budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool, deadlineNs int64, deadlineSet bool) {
 		fl := cliutil.RunFlags{
 			Budget:        budget,
 			SliceLen:      slice,
@@ -36,6 +41,8 @@ func FuzzValidateFlags(f *testing.F) {
 			CacheEnabled:  cache,
 			CacheSliceSet: cacheSet,
 			CkptSliceSet:  ckptSet,
+			Deadline:      time.Duration(deadlineNs),
+			DeadlineSet:   deadlineSet,
 		}
 		err := fl.Validate()
 
@@ -45,7 +52,8 @@ func FuzzValidateFlags(f *testing.F) {
 			recshards >= 0 &&
 			!(recshards > 1 && parallel > 0 && recshards > parallel) &&
 			(cache || !cacheSet) &&
-			(cache || !ckptSet)
+			(cache || !ckptSet) &&
+			(!deadlineSet || deadlineNs > 0)
 		if gotOK := err == nil; gotOK != wantOK {
 			t.Errorf("Validate(%+v) = %v, independent oracle says ok=%v", fl, err, wantOK)
 		}

@@ -5,21 +5,35 @@
 // single-worker run. The experiment drivers express their inner loops —
 // one unit per (workload, input, pipeline-scale, storage-budget) cell —
 // as Map calls over a Pool.
+//
+// Failure contract (DESIGN.md §9): a panicking or failing unit fails
+// its run, never the process. MapErr returns typed errors — a
+// *PanicError attributes a recovered panic to its work unit, a
+// *CancelError reports a cancellation or deadline along with which
+// units completed. Map keeps its no-error signature for the drivers'
+// infallible sweeps by escalating failures as an abort panic that
+// Recovered unwraps at the run boundary (experiments.Runner).
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
+
+	"branchlab/internal/faultinject"
 )
 
 // Pool schedules independent work units onto a fixed set of workers.
 // The zero-cost construction holds no goroutines; workers are spawned
-// per Map call and torn down when it returns.
+// per Map call and torn down when it returns. A pool may carry a
+// context (WithContext) that bounds every Map/MapErr run scheduled on
+// it.
 type Pool struct {
 	workers int
+	ctx     context.Context
 }
 
 // New returns a pool with the given worker count; workers <= 0 selects
@@ -31,68 +45,254 @@ func New(workers int) *Pool {
 	return &Pool{workers: workers}
 }
 
+// WithContext returns a pool sharing p's worker budget whose runs are
+// additionally bounded by ctx: Map aborts and MapErr returns a
+// *CancelError once ctx is done.
+func (p *Pool) WithContext(ctx context.Context) *Pool {
+	return &Pool{workers: p.workers, ctx: ctx}
+}
+
+// Context returns the context bounding this pool's runs (never nil).
+func (p *Pool) Context() context.Context {
+	if p.ctx != nil {
+		return p.ctx
+	}
+	return context.Background()
+}
+
 // Workers returns the configured worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Map runs fn(0) .. fn(n-1) on the pool and returns the n results
-// indexed by submission order, regardless of completion order or worker
-// count. fn must be safe to call from multiple goroutines; units must
-// not depend on each other. A panic in any unit is re-raised on the
-// calling goroutine after all workers have drained.
-func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+// PanicError is a panic recovered inside a work unit, attributed to
+// the unit (cell) that raised it. The run fails with this error; the
+// process and the pool's other cells survive.
+type PanicError struct {
+	Cell  int    // work-unit index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine, captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: work unit %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
+}
+
+// CancelError reports a run stopped by context cancellation or
+// deadline. Completed lists the work-unit indices that finished before
+// the run stopped, in ascending order, for partial-result reporting.
+type CancelError struct {
+	Err       error // the cancellation cause (ctx.Err() or a unit's cancellation error)
+	Completed []int // unit indices that completed successfully
+	Total     int   // units the run was asked for
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("engine: run canceled after %d/%d work units: %v", len(e.Completed), e.Total, e.Err)
+}
+
+// Unwrap exposes the cause so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) classify CancelErrors.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// abortPanic carries a typed error across the no-error Map signature.
+// It is deliberately unexported: only Abort raises it and only
+// Recovered unwraps it, so arbitrary panics stay distinguishable.
+type abortPanic struct{ err error }
+
+// Abort escalates err through call frames that have no error return
+// (Map units, legacy recording wrappers). The nearest engine-aware
+// recovery point — a MapErr unit or Recovered at a run boundary —
+// converts it back into the typed error, unchanged.
+func Abort(err error) {
+	if err == nil {
+		err = errors.New("engine: Abort(nil)")
+	}
+	panic(abortPanic{err})
+}
+
+// Recovered returns the typed error carried by an Abort panic, or nil
+// if r is not one. Use at a recover() boundary:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			if err = engine.Recovered(r); err == nil {
+//				panic(r) // not ours; keep unwinding
+//			}
+//		}
+//	}()
+func Recovered(r any) error {
+	if ap, ok := r.(abortPanic); ok {
+		return ap.err
+	}
+	return nil
+}
+
+// IsCancel reports whether err is cancellation-class: caused by a
+// context being canceled or timing out rather than by the work itself
+// failing. Cancellation-class failures are retryable with a fresh
+// context; others are not.
+func IsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// MapErr runs fn(ctx, 0) .. fn(ctx, n-1) on the pool and returns the n
+// results indexed by submission order. fn must be safe to call from
+// multiple goroutines; units must not depend on each other.
+//
+// The ctx passed to every unit is canceled as soon as any unit fails
+// or the caller's ctx (or the pool's, from WithContext) is done;
+// pending units are not dispatched and in-flight units can bail at
+// their next cancellation check. All workers are joined before MapErr
+// returns — no goroutines outlive the call.
+//
+// On failure the result slice holds every completed unit's value and
+// the error is typed: a unit panic surfaces as *PanicError, a
+// cancellation or deadline as *CancelError, and any other unit error
+// is returned as the unit produced it. When several units fail, the
+// lowest-indexed non-cancellation error wins, so the reported failure
+// does not depend on goroutine interleaving.
+func MapErr[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.ctx != nil && p.ctx != ctx {
+		var cancel context.CancelFunc
+		ctx, cancel = mergeContexts(ctx, p.ctx)
+		defer cancel()
+	}
+
+	out := make([]T, n)
+	done := make([]bool, n)
+	errs := make([]error, n)
+
+	runUnit := func(ctx context.Context, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ae := Recovered(r); ae != nil {
+					err = ae // a nested Map aborted; keep its typed error
+				} else {
+					err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
+				}
+			}
+		}()
+		if ferr := faultinject.Fail(faultinject.EngineDispatch); ferr != nil {
+			return fmt.Errorf("engine: work unit %d: %w", i, ferr)
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		done[i] = true
 		return nil
 	}
-	out := make([]T, n)
+
 	workers := p.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		// Sequential path: units run in index order on the calling
+		// goroutine, checking cancellation between units.
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			if ctx.Err() != nil {
+				break
+			}
+			if errs[i] = runUnit(ctx, i); errs[i] != nil {
+				break
+			}
 		}
-		return out
+		return out, collectErr(ctx, errs, done, n)
 	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicked any
-	var aborted atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							// Capture the stack here, inside the unwinding
-							// goroutine, so the re-raise on the caller keeps
-							// the failing unit's frames.
-							panicOnce.Do(func() {
-								panicked = fmt.Errorf("engine: work unit %d panicked: %v\n%s",
-									i, r, debug.Stack())
-								aborted.Store(true)
-							})
-						}
-					}()
-					out[i] = fn(i)
-				}()
+				if runCtx.Err() != nil {
+					continue // drain without running: prompt teardown after cancel
+				}
+				// out/done/errs are written at distinct indices only.
+				if err := runUnit(runCtx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		if aborted.Load() {
-			break // a unit panicked; don't start the rest of the sweep
+		select {
+		case idx <- i:
+		case <-runCtx.Done():
+			i = n // stop dispatching; workers drain what's queued
 		}
-		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
+	return out, collectErr(ctx, errs, done, n)
+}
+
+// collectErr reduces per-unit errors and the caller context into the
+// single typed error MapErr reports. The lowest-indexed
+// non-cancellation unit error wins; otherwise any cancellation (unit
+// or context) becomes a *CancelError carrying the completed set.
+func collectErr(ctx context.Context, errs []error, done []bool, n int) error {
+	var cancelCause error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if !IsCancel(e) {
+			return e
+		}
+		if cancelCause == nil {
+			cancelCause = e
+		}
+	}
+	if ctx.Err() != nil {
+		cancelCause = ctx.Err()
+	}
+	if cancelCause == nil {
+		return nil
+	}
+	completed := make([]int, 0, n)
+	for i, d := range done {
+		if d {
+			completed = append(completed, i)
+		}
+	}
+	return &CancelError{Err: cancelCause, Completed: completed, Total: n}
+}
+
+// mergeContexts derives a context canceled when either parent is done,
+// carrying values and deadline from primary.
+func mergeContexts(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(primary)
+	stop := context.AfterFunc(secondary, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// Map runs fn(0) .. fn(n-1) on the pool and returns the n results
+// indexed by submission order, regardless of completion order or
+// worker count. fn must be safe to call from multiple goroutines;
+// units must not depend on each other. A failure — unit panic, pool
+// context cancellation, injected fault — is escalated with Abort after
+// all workers have drained; the typed error is recovered by the
+// enclosing MapErr unit or by Recovered at the run boundary.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out, err := MapErr(p.Context(), p, n, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		Abort(err)
 	}
 	return out
 }
@@ -101,4 +301,11 @@ func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 // element order. It is Map with the common slice-of-inputs plumbing.
 func MapSlice[S, T any](p *Pool, in []S, fn func(item S, i int) T) []T {
 	return Map(p, len(in), func(i int) T { return fn(in[i], i) })
+}
+
+// MapSliceErr is MapErr with the common slice-of-inputs plumbing.
+func MapSliceErr[S, T any](ctx context.Context, p *Pool, in []S, fn func(ctx context.Context, item S, i int) (T, error)) ([]T, error) {
+	return MapErr(ctx, p, len(in), func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, in[i], i)
+	})
 }

@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and returns a func that
+// fails the test if stray goroutines remain after a grace period.
+// Register it with t.Cleanup before exercising cancel/fault paths.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s",
+					base, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestMapErrMatchesMap(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := MapErr(context.Background(), New(workers), 50,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: MapErr = %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrEmptyAndNilCtx(t *testing.T) {
+	if out, err := MapErr(nil, New(4), 0, func(context.Context, int) (int, error) { return 0, nil }); out != nil || err != nil {
+		t.Fatalf("MapErr(n=0) = %v, %v", out, err)
+	}
+	out, err := MapErr(nil, New(1), 3, func(context.Context, int) (int, error) { return 7, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("MapErr(nil ctx) = %v, %v", out, err)
+	}
+}
+
+// TestMapErrUnitErrorAbortsRun: one failing unit fails the run with
+// its own error, and undispatched units never start.
+func TestMapErrUnitErrorAbortsRun(t *testing.T) {
+	boom := errors.New("unit failure")
+	for _, workers := range []int{1, 4} {
+		defer leakCheck(t)()
+		var started atomic.Int32
+		_, err := MapErr(context.Background(), New(workers), 1000,
+			func(_ context.Context, i int) (int, error) {
+				started.Add(1)
+				if i == 3 {
+					return 0, boom
+				}
+				return i, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: MapErr = %v, want %v", workers, err, boom)
+		}
+		if IsCancel(err) {
+			t.Fatalf("workers=%d: unit error misclassified as cancellation", workers)
+		}
+		if n := started.Load(); n == 1000 {
+			t.Errorf("workers=%d: all 1000 units ran despite early failure", workers)
+		}
+	}
+}
+
+// TestMapErrPanicBecomesTypedError: a panicking unit yields a
+// *PanicError naming its cell; the process survives.
+func TestMapErrPanicBecomesTypedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		defer leakCheck(t)()
+		_, err := MapErr(context.Background(), New(workers), 10,
+			func(_ context.Context, i int) (int, error) {
+				if i == 4 {
+					panic("poisoned cell")
+				}
+				return i, nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: MapErr = %v, want *PanicError", workers, err)
+		}
+		if pe.Cell != 4 || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError{Cell: %d, len(Stack): %d}", workers, pe.Cell, len(pe.Stack))
+		}
+	}
+}
+
+// TestMapErrCancelReportsCompleted: cancelling mid-run returns a
+// *CancelError listing exactly the units that finished, drains
+// promptly, and leaks nothing.
+func TestMapErrCancelReportsCompleted(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		defer leakCheck(t)()
+		ctx, cancel := context.WithCancel(context.Background())
+		release := make(chan struct{})
+		var completed atomic.Int32
+		done := make(chan struct{})
+		var err error
+		go func() {
+			defer close(done)
+			_, err = MapErr(ctx, New(workers), 1000,
+				func(ctx context.Context, i int) (int, error) {
+					if i < workers { // first wave runs; the rest block on cancel
+						completed.Add(1)
+						return i, nil
+					}
+					select {
+					case <-release:
+						completed.Add(1)
+						return i, nil
+					case <-ctx.Done():
+						return 0, ctx.Err()
+					}
+				})
+		}()
+		// Wait for the first wave, then cancel while units are in flight.
+		for completed.Load() < int32(workers) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: MapErr did not return after cancel", workers)
+		}
+		close(release)
+		var ce *CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: MapErr = %v, want *CancelError", workers, err)
+		}
+		if !errors.Is(err, context.Canceled) || !IsCancel(err) {
+			t.Errorf("workers=%d: CancelError %v does not unwrap to context.Canceled", workers, err)
+		}
+		if ce.Total != 1000 {
+			t.Errorf("workers=%d: Total = %d, want 1000", workers, ce.Total)
+		}
+		if int32(len(ce.Completed)) != completed.Load() {
+			t.Errorf("workers=%d: Completed lists %d units, %d actually finished",
+				workers, len(ce.Completed), completed.Load())
+		}
+		for j := 1; j < len(ce.Completed); j++ {
+			if ce.Completed[j-1] >= ce.Completed[j] {
+				t.Fatalf("workers=%d: Completed not ascending: %v", workers, ce.Completed)
+			}
+		}
+		if len(ce.Completed) == 1000 {
+			t.Errorf("workers=%d: all units completed despite cancel", workers)
+		}
+	}
+}
+
+// TestMapErrDeadline: an already-expired deadline runs nothing and
+// reports a deadline-class CancelError.
+func TestMapErrDeadline(t *testing.T) {
+	defer leakCheck(t)()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	var ran atomic.Int32
+	_, err := MapErr(ctx, New(4), 100, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	var ce *CancelError
+	if !errors.As(err, &ce) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("MapErr past deadline = %v, want deadline CancelError", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Errorf("%d units ran against an expired deadline", n)
+	}
+}
+
+// TestPoolWithContext: a pool-bound context cancels Map runs even when
+// the caller passes none, and Map escalates via Abort.
+func TestPoolWithContext(t *testing.T) {
+	defer leakCheck(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(4).WithContext(ctx)
+	defer func() {
+		err := Recovered(recover())
+		if err == nil {
+			t.Fatal("Map on a canceled pool did not abort")
+		}
+		var ce *CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("abort error = %v, want *CancelError", err)
+		}
+	}()
+	Map(p, 10, func(i int) int { return i })
+	t.Fatal("Map returned normally on a canceled pool")
+}
+
+// TestPoolContextMergesWithCallCtx: cancellation of either the pool
+// context or the per-call context stops the run.
+func TestPoolContextMergesWithCallCtx(t *testing.T) {
+	defer leakCheck(t)()
+	poolCtx, cancelPool := context.WithCancel(context.Background())
+	defer cancelPool()
+	p := New(2).WithContext(poolCtx)
+	started := make(chan struct{})
+	var once atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := MapErr(context.Background(), p, 8, func(ctx context.Context, i int) (int, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancelPool()
+	select {
+	case err := <-done:
+		if !IsCancel(err) {
+			t.Fatalf("MapErr = %v, want cancellation", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool-context cancel did not stop the run")
+	}
+}
+
+// TestNestedMapAbortSurfacesInOuterUnit: an abort raised inside a
+// nested Map is converted to the outer unit's typed error, not wrapped
+// in a fresh PanicError.
+func TestNestedMapAbortSurfacesInOuterUnit(t *testing.T) {
+	defer leakCheck(t)()
+	inner := errors.New("inner unit failed")
+	_, err := MapErr(context.Background(), New(2), 4,
+		func(_ context.Context, i int) (int, error) {
+			sum := 0
+			for _, v := range Map(New(2), 3, func(j int) int {
+				if i == 2 && j == 1 {
+					Abort(fmt.Errorf("cell (%d,%d): %w", i, j, inner))
+				}
+				return j
+			}) {
+				sum += v
+			}
+			return sum, nil
+		})
+	if !errors.Is(err, inner) {
+		t.Fatalf("nested abort surfaced as %v, want %v", err, inner)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("nested abort wrapped in PanicError: %v", err)
+	}
+}
+
+// TestRecoveredIgnoresForeignPanics: Recovered must not swallow panics
+// it does not own.
+func TestRecoveredIgnoresForeignPanics(t *testing.T) {
+	if err := Recovered("some panic"); err != nil {
+		t.Fatalf("Recovered(foreign) = %v, want nil", err)
+	}
+	if err := Recovered(nil); err != nil {
+		t.Fatalf("Recovered(nil) = %v, want nil", err)
+	}
+	want := errors.New("x")
+	func() {
+		defer func() {
+			if got := Recovered(recover()); !errors.Is(got, want) {
+				t.Fatalf("Recovered(Abort(x)) = %v, want %v", got, want)
+			}
+		}()
+		Abort(want)
+	}()
+}
+
+// TestAbortNil: Abort(nil) must still unwind with a non-nil error so
+// a buggy call site cannot silently resume.
+func TestAbortNil(t *testing.T) {
+	defer func() {
+		if err := Recovered(recover()); err == nil {
+			t.Fatal("Abort(nil) recovered to nil error")
+		}
+	}()
+	Abort(nil)
+}
+
+// TestMapErrDeterministicErrorSelection: with several failing units,
+// the lowest-indexed non-cancellation error is reported regardless of
+// scheduling.
+func TestMapErrDeterministicErrorSelection(t *testing.T) {
+	errA := errors.New("unit 3 failed")
+	errB := errors.New("unit 9 failed")
+	for trial := 0; trial < 20; trial++ {
+		// Unit 9 waits until unit 3 has failed, so whenever both errors
+		// are recorded the lower index must be the one reported.
+		u3failed := make(chan struct{})
+		_, err := MapErr(context.Background(), New(4), 10,
+			func(_ context.Context, i int) (int, error) {
+				switch i {
+				case 3:
+					close(u3failed)
+					return 0, errA
+				case 9:
+					<-u3failed
+					return 0, errB
+				}
+				return i, nil
+			})
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: MapErr = %v, want %v", trial, err, errA)
+		}
+	}
+}
+
+// TestMapSliceErr mirrors TestMapSlice for the error-returning shape.
+func TestMapSliceErr(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out, err := MapSliceErr(context.Background(), New(4), in,
+		func(_ context.Context, s string, i int) (int, error) { return len(s) + i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}

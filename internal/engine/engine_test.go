@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
@@ -91,8 +92,24 @@ func TestMapPanicPropagates(t *testing.T) {
 					t.Errorf("workers=%d: panic did not propagate", workers)
 					return
 				}
-				if !strings.Contains(toString(r), "boom") {
-					t.Errorf("workers=%d: panic value %v lost the cause", workers, r)
+				err := Recovered(r)
+				if err == nil {
+					t.Errorf("workers=%d: panic value %v is not an engine abort", workers, r)
+					return
+				}
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Errorf("workers=%d: abort error %v is not a *PanicError", workers, err)
+					return
+				}
+				if pe.Cell != 7 {
+					t.Errorf("workers=%d: panic attributed to cell %d, want 7", workers, pe.Cell)
+				}
+				if !strings.Contains(err.Error(), "boom") {
+					t.Errorf("workers=%d: panic error %v lost the cause", workers, err)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("workers=%d: panic error carries no stack", workers)
 				}
 			}()
 			Map(New(workers), 10, func(i int) int {
@@ -114,14 +131,4 @@ func TestMapSlice(t *testing.T) {
 			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
 		}
 	}
-}
-
-func toString(v any) string {
-	if err, ok := v.(error); ok {
-		return err.Error()
-	}
-	if s, ok := v.(string); ok {
-		return s
-	}
-	return ""
 }

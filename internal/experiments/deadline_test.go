@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"branchlab/internal/engine"
+	"branchlab/internal/report"
+)
+
+// TestRunErrExpiredDeadlineFailsTyped: a deadline that cannot possibly
+// be met fails the run with a typed deadline error and no artifact.
+func TestRunErrExpiredDeadlineFailsTyped(t *testing.T) {
+	r, ok := ByID("table1")
+	if !ok {
+		t.Fatal("table1 missing from the registry")
+	}
+	cfg := quickCfg()
+	cfg.Deadline = time.Nanosecond
+	art, err := r.RunErr(cfg)
+	if art != nil {
+		t.Fatal("expired run still produced an artifact")
+	}
+	if !engine.IsCancel(err) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunErr = %v, want a deadline cancellation", err)
+	}
+}
+
+// TestRunErrGenerousDeadlineByteIdentical: a deadline the run meets
+// changes no artifact byte relative to the unbounded run.
+func TestRunErrGenerousDeadlineByteIdentical(t *testing.T) {
+	r, ok := ByID("table2")
+	if !ok {
+		t.Fatal("table2 missing from the registry")
+	}
+	cfg := quickCfg()
+	want, err := r.RunErr(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Deadline = time.Hour
+	got, err := r.RunErr(cfg)
+	if err != nil {
+		t.Fatalf("generous deadline failed the run: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("artifact differs under a generous deadline")
+	}
+}
+
+// TestRunCtxRecoversDriverPanic: a panicking driver becomes a typed
+// error naming the driver; the process survives.
+func TestRunCtxRecoversDriverPanic(t *testing.T) {
+	r := Runner{ID: "boom", Title: "panics", Run: func(Config) *report.Artifact {
+		panic("driver bug")
+	}}
+	art, err := r.RunCtx(context.Background(), quickCfg())
+	if art != nil || err == nil {
+		t.Fatalf("RunCtx(panicking driver) = %v, %v", art, err)
+	}
+	if engine.IsCancel(err) {
+		t.Fatalf("driver panic misclassified as cancellation: %v", err)
+	}
+}
+
+// TestRunCtxConvertsEngineAborts: an engine.Abort raised anywhere in a
+// driver surfaces as the run's typed error.
+func TestRunCtxConvertsEngineAborts(t *testing.T) {
+	boom := errors.New("cell failure")
+	r := Runner{ID: "abort", Title: "aborts", Run: func(Config) *report.Artifact {
+		engine.Abort(boom)
+		return nil
+	}}
+	_, err := r.RunCtx(context.Background(), quickCfg())
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunCtx(aborting driver) = %v, want %v", err, boom)
+	}
+}
+
+// TestRunCtxPreCancelled: an already-cancelled run context fails fast
+// with a typed error, before any driver work.
+func TestRunCtxPreCancelled(t *testing.T) {
+	r := Runner{ID: "never", Title: "never runs", Run: func(Config) *report.Artifact {
+		t.Error("driver ran under a pre-cancelled context")
+		return nil
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.RunCtx(ctx, quickCfg())
+	if !engine.IsCancel(err) {
+		t.Fatalf("RunCtx(cancelled) = %v, want a cancellation", err)
+	}
+}

@@ -6,9 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
+	"time"
 
 	"branchlab/internal/core"
 	"branchlab/internal/engine"
@@ -66,6 +69,28 @@ type Config struct {
 	// change a trace byte: checkpointed and checkpoint-free runs are
 	// byte-identical in every artifact.
 	CkptSlice uint64
+
+	// Deadline bounds one driver run end to end (0 = none). It is
+	// applied by Runner.RunErr: the run's pools and recordings share a
+	// context that expires after this duration, and an expired run
+	// fails with a typed cancellation error (engine.CancelError, which
+	// lists the work units that did complete) instead of partial or
+	// wrong artifacts. A deadline generous enough for the run to finish
+	// changes no artifact byte (DESIGN.md §9).
+	Deadline time.Duration
+
+	// ctx, when non-nil, bounds every pool and recording built from
+	// this configuration. It is set by Runner.RunCtx/RunErr; drivers
+	// never touch it directly.
+	ctx context.Context
+}
+
+// Context returns the run-bounding context (Background when none).
+func (c Config) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // NewCache constructs the shared trace cache for this configuration:
@@ -76,8 +101,16 @@ func (c Config) NewCache(maxBytes int64) *tracecache.Cache {
 	return tracecache.NewSliced(maxBytes, c.CacheSlice)
 }
 
-// Pool returns the engine pool the experiment's work units run on.
-func (c Config) Pool() *engine.Pool { return engine.New(c.Workers) }
+// Pool returns the engine pool the experiment's work units run on,
+// bound to the run context: cancelling or timing out the run stops
+// every Map dispatched on it with a typed error.
+func (c Config) Pool() *engine.Pool {
+	p := engine.New(c.Workers)
+	if c.ctx != nil {
+		p = p.WithContext(c.ctx)
+	}
+	return p
+}
 
 // RecordTrace materializes one workload input's trace at the configured
 // budget, through the shared cache when one is configured. All drivers
@@ -87,15 +120,28 @@ func (c Config) Pool() *engine.Pool { return engine.New(c.Workers) }
 // The returned trace replays identically whether it is a plain buffer
 // (nil cache) or a cache view re-materializing evicted slices on
 // demand (Spec.RecordRange, the reseed-and-skim path).
+// Recording honours the run context: a cancelled or expired run fails
+// with a typed error escalated to the Runner.RunErr boundary — a
+// truncated trace is never returned.
 func (c Config) RecordTrace(s *workload.Spec, input int) trace.Replayable {
-	if c.Cache == nil {
-		if c.RecordShards > 1 {
-			return s.RecordSharded(input, c.Budget, c.Pool(), c.RecordShards)
-		}
-		return s.Record(input, c.Budget)
+	ctx := c.Context()
+	var (
+		tr  trace.Replayable
+		err error
+	)
+	switch {
+	case c.Cache == nil && c.RecordShards > 1:
+		tr, err = s.RecordShardedFromCtx(ctx, input, c.Budget, c.Pool(), c.RecordShards, nil)
+	case c.Cache == nil:
+		tr, err = s.RecordCtx(ctx, input, c.Budget)
+	default:
+		tr, err = c.Cache.RecordCtx(ctx, s.Name, input, c.Budget,
+			s.CacheSource(input, c.Budget, c.Pool(), c.RecordShards, c.CkptSlice))
 	}
-	return c.Cache.Record(s.Name, input, c.Budget,
-		s.CacheSource(input, c.Budget, c.Pool(), c.RecordShards, c.CkptSlice))
+	if err != nil {
+		engine.Abort(err)
+	}
+	return tr
 }
 
 // Default returns the configuration used for EXPERIMENTS.md.
@@ -129,6 +175,50 @@ type Runner struct {
 	ID    string
 	Title string
 	Run   func(Config) *report.Artifact
+}
+
+// RunCtx runs the driver bounded by ctx, converting every in-band
+// failure into the error return: engine aborts (typed unit errors,
+// cancellations, injected faults) unwind here, and an arbitrary driver
+// panic is isolated into an error naming the driver instead of killing
+// the process. A nil error means the artifact is complete and
+// byte-identical to an unbounded run.
+func (r Runner) RunCtx(ctx context.Context, cfg Config) (art *report.Artifact, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.ctx = ctx
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		art = nil
+		if aerr := engine.Recovered(rec); aerr != nil {
+			err = fmt.Errorf("experiments %s: %w", r.ID, aerr)
+			return
+		}
+		err = fmt.Errorf("experiments %s: driver panicked: %v\n%s", r.ID, rec, debug.Stack())
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("experiments %s: %w", r.ID, cerr)
+	}
+	return r.Run(cfg), nil
+}
+
+// RunErr is RunCtx under cfg.Deadline: with a deadline set the whole
+// driver — recording, screening, timing — must finish within it or
+// fail with a typed deadline error (partial results are reported
+// through engine.CancelError's completed-unit list, never as partial
+// artifacts).
+func (r Runner) RunErr(cfg Config) (*report.Artifact, error) {
+	ctx := context.Background()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	return r.RunCtx(ctx, cfg)
 }
 
 // All returns every experiment in paper order.

@@ -1,0 +1,36 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether this build carries the fault registry.
+func Enabled() bool { return false }
+
+// Active reports whether a fault plan is currently armed. Never true in
+// this build.
+func Active() bool { return false }
+
+// Fail reports an injected failure at p. Always nil in this build; the
+// compiler inlines the call away.
+func Fail(Point) error { return nil }
+
+// Chaos reports an injected behaviour-preserving stress at p. Always
+// false in this build.
+func Chaos(Point) bool { return false }
+
+// Activate arms a seeded fault plan. This build has no registry, so it
+// always returns ErrDisabled.
+func Activate(uint64) error { return ErrDisabled }
+
+// Deactivate disarms any active plan. No-op in this build.
+func Deactivate() {}
+
+// ActivateFromEnv arms a plan from the EnvSeed environment variable.
+// If the variable is set in this build the caller asked for faults a
+// no-op binary cannot deliver, so it returns ErrDisabled rather than
+// silently running unfaulted; unset, it returns nil.
+func ActivateFromEnv(lookup func(string) (string, bool)) error {
+	if _, ok := lookup(EnvSeed); ok {
+		return ErrDisabled
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+//go:build !faultinject
+
+package faultinject_test
+
+import (
+	"errors"
+	"testing"
+
+	"branchlab/internal/faultinject"
+)
+
+// TestDisabledBuildIsInert verifies the default build cannot inject:
+// hooks are constant no-ops and arming is refused.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if faultinject.Enabled() || faultinject.Active() {
+		t.Fatal("disabled build reports itself enabled/active")
+	}
+	if err := faultinject.Activate(1); !errors.Is(err, faultinject.ErrDisabled) {
+		t.Fatalf("Activate = %v, want ErrDisabled", err)
+	}
+	for _, p := range faultinject.Points() {
+		if err := faultinject.Fail(p); err != nil {
+			t.Fatalf("Fail(%s) = %v in disabled build", p, err)
+		}
+		if faultinject.Chaos(p) {
+			t.Fatalf("Chaos(%s) = true in disabled build", p)
+		}
+	}
+	faultinject.Deactivate() // must be a harmless no-op
+}
+
+// TestDisabledRefusesEnvSeed: a disabled binary asked to fault via the
+// environment must fail loudly instead of silently running unfaulted.
+func TestDisabledRefusesEnvSeed(t *testing.T) {
+	lookup := func(k string) (string, bool) {
+		if k == faultinject.EnvSeed {
+			return "42", true
+		}
+		return "", false
+	}
+	if err := faultinject.ActivateFromEnv(lookup); !errors.Is(err, faultinject.ErrDisabled) {
+		t.Fatalf("ActivateFromEnv with seed set = %v, want ErrDisabled", err)
+	}
+	unset := func(string) (string, bool) { return "", false }
+	if err := faultinject.ActivateFromEnv(unset); err != nil {
+		t.Fatalf("ActivateFromEnv with no seed = %v, want nil", err)
+	}
+}

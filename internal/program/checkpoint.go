@@ -101,6 +101,11 @@ func (e *Emitter) Checkpointable(p CheckpointPayload) {
 // function of the instruction index, so sharded recordings capture
 // exactly the sequential list restricted to their ranges.
 func (e *Emitter) Checkpoint() {
+	// Safe points are also the cancellation points (DESIGN.md §9): the
+	// payload declares that stopping here cannot corrupt anything, so
+	// this is where a cancelled recording unwinds. Checked before the
+	// spacing early-return so non-checkpointed recordings still cancel.
+	e.checkCanceled()
 	if e.ckptEvery == 0 || e.emitted < e.nextCkpt {
 		return
 	}

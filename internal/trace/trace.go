@@ -144,6 +144,10 @@ func (a *blockAdapter) NextBlock() []Inst {
 // Close implements Closer by forwarding to the underlying stream.
 func (a *blockAdapter) Close() error { return CloseStream(a.s) }
 
+// Err forwards the underlying stream's terminal error, so StreamErr
+// sees through the block adaptation.
+func (a *blockAdapter) Err() error { return StreamErr(a.s) }
+
 // Blocks adapts s to block iteration with blocks of at most n
 // instructions (DefaultBlockLen if n <= 0). The adapter copies through
 // a scratch buffer; block-native producers (Buffer streams, program
@@ -178,6 +182,18 @@ type Closer interface {
 func CloseStream(s Stream) error {
 	if c, ok := s.(Closer); ok {
 		return c.Close()
+	}
+	return nil
+}
+
+// StreamErr returns the typed error that terminated s, if s tracks one
+// (program generator streams do: cancellation, payload failure). A
+// stream that ended with a non-nil StreamErr delivered a truncated
+// prefix; consumers must discard what they read. Check after the
+// stream reports end of trace.
+func StreamErr(s any) error {
+	if e, ok := s.(interface{ Err() error }); ok {
+		return e.Err()
 	}
 	return nil
 }

@@ -51,16 +51,26 @@ package tracecache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"sync"
 	"unsafe"
 
+	"branchlab/internal/engine"
+	"branchlab/internal/faultinject"
 	"branchlab/internal/program"
 	"branchlab/internal/report"
 	"branchlab/internal/trace"
 )
+
+// ErrBadSource is the sentinel wrapped when a Source produces a
+// malformed recording (middle slices not exactly sliceLen long). The
+// error fails the requesting call and every coalesced waiter; the
+// entry is withdrawn so nothing malformed is ever served.
+var ErrBadSource = errors.New("tracecache: source produced a malformed recording")
 
 // instBytes is the in-memory footprint of one recorded instruction.
 const instBytes = int64(unsafe.Sizeof(trace.Inst{}))
@@ -81,8 +91,11 @@ type Source struct {
 	// shorter; sliceLen == 0 or >= the trace length means one array),
 	// plus any payload checkpoints captured along the way (sorted by
 	// capture index; empty for non-checkpointable payloads). Called
-	// once per cache miss, outside the cache lock.
-	Record func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint)
+	// once per cache miss, outside the cache lock. ctx bounds the
+	// recording: a cancelled or failed Record returns a typed error and
+	// no arrays — partial recordings are never returned (the program
+	// layer enforces this; see DESIGN.md §9).
+	Record func(ctx context.Context, sliceLen uint64) ([][]trace.Inst, []program.Checkpoint, error)
 
 	// Range re-materializes instructions [lo, hi) of the same trace by
 	// skimming the prefix — the refill path of last resort. nil
@@ -133,7 +146,13 @@ type entry struct {
 	// from the LRU cap like the header itself.
 	ckpts  []program.Checkpoint
 	resume func(ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error)
-	ready  chan struct{} // closed when slices/total are set
+	ready  chan struct{} // closed when slices/total (or err) are set
+	// err is the leader's terminal failure, set before ready closes. A
+	// cancellation-class err means the leader's caller went away and a
+	// surviving waiter should take over the recording (hand-off); any
+	// other err fails every waiter too. Entries with err set are
+	// already withdrawn from the map.
+	err error
 }
 
 // refill re-materializes [lo, hi), resuming from the nearest
@@ -142,10 +161,13 @@ type entry struct {
 func (e *entry) refill(lo, hi uint64) (data []trace.Inst, resumed bool) {
 	if e.resume != nil {
 		if ck := program.NearestCheckpoint(e.ckpts, lo); ck != nil {
-			if data, err := e.resume(ck, lo, hi); err == nil {
-				return data, true
+			if ferr := faultinject.Fail(faultinject.CacheResume); ferr == nil {
+				if data, err := e.resume(ck, lo, hi); err == nil {
+					return data, true
+				}
 			}
-			// An unusable checkpoint degrades to the exact skim path.
+			// An unusable checkpoint — or an injected resume fault —
+			// degrades to the exact skim path: slower, same bytes.
 		}
 	}
 	return e.rng(lo, hi), false
@@ -306,9 +328,51 @@ func NewSliced(maxBytes int64, sliceInsts uint64) *Cache {
 // budget-sensitive source (Source.BudgetSensitive) keys each budget
 // separately instead, since its traces are not prefix-comparable.
 func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.Replayable {
+	v, err := c.RecordCtx(context.Background(), name, input, budget, src)
+	if err != nil {
+		// The background context cannot cancel, so only a source failure
+		// lands here; escalate it to the run boundary rather than serve
+		// nothing (the legacy surface has no error return).
+		engine.Abort(err)
+	}
+	return v
+}
+
+// canceledErr is the typed error a cancelled Record call returns; it
+// classifies as cancellation under engine.IsCancel.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("tracecache: recording canceled: %w", ctx.Err())
+}
+
+// RecordCtx is Record bounded by ctx, with the failure contract of
+// DESIGN.md §9:
+//
+//   - A caller cancelled while coalesced on another goroutine's
+//     recording detaches immediately with a typed cancellation error;
+//     the leader and the other waiters are unaffected.
+//   - A leader cancelled mid-recording withdraws its entry and wakes
+//     the waiters; each surviving waiter retries, so the first to
+//     re-enter takes over the recording under its own context
+//     (hand-off). The cancelled caller gets a typed cancellation
+//     error.
+//   - A leader whose source fails for a non-cancellation reason (a
+//     malformed recording — ErrBadSource —, a payload abort, an
+//     injected fault) propagates that same typed error to every
+//     current waiter; the entry is withdrawn, so later calls retry
+//     fresh.
+//
+// In every case the cache never serves partial or wrong bytes: a
+// successful return is byte-identical to an uncached recording.
+func (c *Cache) RecordCtx(ctx context.Context, name string, input int, budget uint64, src Source) (trace.Replayable, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c == nil {
-		arrs, _ := src.Record(0)
-		return trace.FromSlice(joinArrays(arrs))
+		arrs, _, err := src.Record(ctx, 0)
+		if err != nil {
+			return nil, err
+		}
+		return trace.FromSlice(joinArrays(arrs)), nil
 	}
 	k := key{name: name, input: input}
 	if src.BudgetSensitive {
@@ -319,6 +383,10 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 	}
 	c.mu.Lock()
 	for {
+		if ctx.Err() != nil {
+			c.mu.Unlock()
+			return nil, canceledErr(ctx)
+		}
 		e := c.entries[k]
 		if e == nil {
 			break
@@ -332,22 +400,35 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 				c.stats.Coalesced++
 			}
 			c.mu.Unlock()
-			<-e.ready
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				// Detach: the leader's recording proceeds for the other
+				// waiters; only this caller stops waiting.
+				return nil, canceledErr(ctx)
+			}
 			c.mu.Lock()
+			if e.err != nil && !engine.IsCancel(e.err) {
+				// The leader's failure would fail this call identically.
+				err := e.err
+				c.mu.Unlock()
+				return nil, err
+			}
 			if sufficient && e.slices != nil {
 				v := viewOf(c, e, budget)
 				c.mu.Unlock()
-				return v
+				return v, nil
 			}
-			// Too small — or the recording panicked (slices still nil,
-			// entry withdrawn): loop and record it ourselves.
+			// Leader cancelled (hand-off: the loop re-enters and this
+			// caller may take over), recorded too small, or panicked:
+			// retry.
 			continue
 		}
 		if e.budget >= budget {
 			c.stats.Hits++
 			v := viewOf(c, e, budget)
 			c.mu.Unlock()
-			return v
+			return v, nil
 		}
 		// Resident but recorded at a smaller budget: drop it and
 		// re-record at the larger one.
@@ -364,10 +445,15 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 	e.resume = src.Resume
 	if e.rng == nil {
 		// Whole-trace granularity: the single slice refills through a
-		// full re-recording.
+		// full re-recording. Refills are deliberately context-free (a
+		// replay must be able to finish after the recording context is
+		// gone); a failure escalates to the run boundary.
 		record := src.Record
 		e.rng = func(lo, hi uint64) []trace.Inst {
-			arrs, _ := record(0)
+			arrs, _, err := record(context.Background(), 0)
+			if err != nil {
+				engine.Abort(err)
+			}
 			return joinArrays(arrs)[lo:hi]
 		}
 		e.resume = nil
@@ -391,15 +477,37 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 		close(e.ready)
 		c.mu.Unlock()
 	}()
-	arrs, ckpts := src.Record(e.sliceLen)
-	for i, a := range arrs {
-		// Middle slices must be exactly sliceLen: the slice index math
-		// (global index / sliceLen) depends on it.
-		if i < len(arrs)-1 && uint64(len(a)) != e.sliceLen {
-			panic(fmt.Sprintf("tracecache: Source.Record(%d) slice %d has %d insts", e.sliceLen, i, len(a)))
+	arrs, ckpts, err := src.Record(ctx, e.sliceLen)
+	if err == nil {
+		if ferr := faultinject.Fail(faultinject.CacheRecord); ferr != nil {
+			err = fmt.Errorf("tracecache: record %s/%d: %w", name, input, ferr)
+		}
+	}
+	if err == nil {
+		for i, a := range arrs {
+			// Middle slices must be exactly sliceLen: the slice index math
+			// (global index / sliceLen) depends on it.
+			if i < len(arrs)-1 && uint64(len(a)) != e.sliceLen {
+				err = fmt.Errorf("%w: Source.Record(%d) slice %d has %d insts",
+					ErrBadSource, e.sliceLen, i, len(a))
+				break
+			}
 		}
 	}
 	done = true
+	if err != nil {
+		// Withdraw the entry and publish the failure to every waiter.
+		// Cancellation-class errors let a surviving waiter take over;
+		// anything else fails them with the same typed error.
+		c.mu.Lock()
+		e.err = err
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		close(e.ready)
+		c.mu.Unlock()
+		return nil, err
+	}
 
 	c.mu.Lock()
 	e.ckpts = ckpts
@@ -420,7 +528,7 @@ func (c *Cache) Record(name string, input int, budget uint64, src Source) trace.
 	}
 	v := viewOf(c, e, budget)
 	c.mu.Unlock()
-	return v
+	return v, nil
 }
 
 // pin returns slice si's instruction array, re-materializing it under
@@ -585,10 +693,18 @@ func (c *Cache) drop(e *entry) {
 // alive independently of the cache; eviction only drops the cache's
 // reference and its accounting.
 func (c *Cache) evictLocked() {
-	if c.maxBytes <= 0 {
+	maxBytes := c.maxBytes
+	if faultinject.Chaos(faultinject.CacheEvict) {
+		// Chaos point: evict every resident slice regardless of the cap,
+		// forcing later replays through the re-materialization paths.
+		// Refills are deterministic, so artifacts stay byte-identical —
+		// that invariant is what the fault sweep asserts.
+		maxBytes = 1
+	}
+	if maxBytes <= 0 {
 		return
 	}
-	for c.bytes > c.maxBytes {
+	for c.bytes > maxBytes {
 		front := c.lru.Front()
 		if front == nil {
 			return

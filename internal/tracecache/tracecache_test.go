@@ -1,6 +1,7 @@
 package tracecache
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -33,10 +34,10 @@ type source struct {
 
 func (s *source) Source() Source {
 	return Source{
-		Record: func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
+		Record: func(_ context.Context, sliceLen uint64) ([][]trace.Inst, []program.Checkpoint, error) {
 			s.records.Add(1)
 			if sliceLen == 0 || sliceLen >= uint64(s.n) {
-				return [][]trace.Inst{mkInsts(0, s.n)}, nil
+				return [][]trace.Inst{mkInsts(0, s.n)}, nil, nil
 			}
 			var out [][]trace.Inst
 			for lo := 0; lo < s.n; lo += int(sliceLen) {
@@ -46,7 +47,7 @@ func (s *source) Source() Source {
 				}
 				out = append(out, mkInsts(lo, hi))
 			}
-			return out, nil
+			return out, nil, nil
 		},
 		Range: func(lo, hi uint64) []trace.Inst {
 			s.ranges.Add(1)
@@ -542,8 +543,8 @@ type ckptSource struct {
 
 func (s *ckptSource) Source() Source {
 	src := s.source.Source()
-	src.Record = func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
-		arrs, _ := s.source.Source().Record(sliceLen)
+	src.Record = func(ctx context.Context, sliceLen uint64) ([][]trace.Inst, []program.Checkpoint, error) {
+		arrs, _, _ := s.source.Source().Record(ctx, sliceLen)
 		s.records.Store(s.source.records.Load()) // keep outer counter honest
 		var cks []program.Checkpoint
 		for at := s.every; at < s.n; at += s.every {
@@ -551,7 +552,7 @@ func (s *ckptSource) Source() Source {
 			// regenerates from it directly.
 			cks = append(cks, program.Checkpoint{At: uint64(at), Rng: [4]uint64{1, 0, 0, 0}})
 		}
-		return arrs, cks
+		return arrs, cks, nil
 	}
 	src.Resume = func(ck *program.Checkpoint, lo, hi uint64) ([]trace.Inst, error) {
 		if ck.At > lo {
@@ -667,9 +668,9 @@ func (s *budgetSource) insts(lo, hi int) []trace.Inst {
 func (s *budgetSource) Source() Source {
 	return Source{
 		BudgetSensitive: true,
-		Record: func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
+		Record: func(context.Context, uint64) ([][]trace.Inst, []program.Checkpoint, error) {
 			s.records.Add(1)
-			return [][]trace.Inst{s.insts(0, s.budget)}, nil
+			return [][]trace.Inst{s.insts(0, s.budget)}, nil, nil
 		},
 		Range: func(lo, hi uint64) []trace.Inst { return s.insts(int(lo), int(hi)) },
 	}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"branchlab/internal/program"
 	"branchlab/internal/xrand"
 )
@@ -115,8 +117,10 @@ func newGen(e *program.Emitter, m mix, input int) *gen {
 		if err != nil {
 			// Unreachable: n > 0 is guarded above and the exponent is a
 			// positive constant, but a mix-table edit that breaks this
-			// should fail loudly, not sample from a nil Zipf.
-			panic(err)
+			// should fail the run loudly — as a typed error attributed to
+			// the recording, not a process-killing panic (the same
+			// convention as ErrNonPositiveRanks).
+			e.Abort(fmt.Errorf("workload: generator input %d: %w", input, err))
 		}
 		g.h2pPick = z
 	}

@@ -11,6 +11,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchlab/internal/engine"
@@ -65,9 +66,22 @@ func (s *Spec) Stream(input int, budget uint64) trace.Stream {
 	return program.Run(s.seed(input), budget, s.Payload(input))
 }
 
+// StreamCtx is Stream bounded by ctx: when ctx is done the generator
+// unwinds at its next byte-safe point and trace.StreamErr reports a
+// typed cancellation (a truncated prefix is never silently served).
+func (s *Spec) StreamCtx(ctx context.Context, input int, budget uint64) trace.Stream {
+	return program.RunCtx(ctx, s.seed(input), budget, s.Payload(input))
+}
+
 // Record materializes the trace for one input.
 func (s *Spec) Record(input int, budget uint64) *trace.Buffer {
 	return program.Record(s.seed(input), budget, s.Payload(input))
+}
+
+// RecordCtx is Record bounded by ctx; on cancellation or payload
+// failure it returns a typed error and no buffer.
+func (s *Spec) RecordCtx(ctx context.Context, input int, budget uint64) (*trace.Buffer, error) {
+	return program.RecordCtx(ctx, s.seed(input), budget, s.Payload(input))
 }
 
 // RecordSharded materializes the same trace Record produces, generating
@@ -87,6 +101,13 @@ func (s *Spec) RecordShardedFrom(input int, budget uint64, pool *engine.Pool, sh
 	return program.RecordShardedFrom(s.seed(input), budget, s.Payload(input), pool, shards, ckpts)
 }
 
+// RecordShardedFromCtx is RecordShardedFrom bounded by ctx: shard
+// workers check cancellation at byte-safe points and a cancelled
+// recording returns a typed error, never a partial buffer.
+func (s *Spec) RecordShardedFromCtx(ctx context.Context, input int, budget uint64, pool *engine.Pool, shards int, ckpts []program.Checkpoint) (*trace.Buffer, error) {
+	return program.RecordShardedFromCtx(ctx, s.seed(input), budget, s.Payload(input), pool, shards, ckpts)
+}
+
 // RecordSlices materializes the same trace Record produces as
 // independently owned arrays of sliceLen instructions each — the
 // slice-granular trace cache's ingest path (program.RecordSlices).
@@ -97,6 +118,14 @@ func (s *Spec) RecordShardedFrom(input int, budget uint64, pool *engine.Pool, sh
 // O(window) via RecordRangeFrom.
 func (s *Spec) RecordSlices(input int, budget, sliceLen uint64, pool *engine.Pool, shards int, ckptEvery uint64) ([][]trace.Inst, []program.Checkpoint) {
 	return program.RecordSlices(s.seed(input), budget, s.Payload(input), sliceLen, pool, shards, ckptEvery)
+}
+
+// RecordSlicesCtx is RecordSlices bounded by ctx — the cache's
+// recording callback (CacheSource wires it into Source.Record).
+// Cancellation or payload failure returns a typed error; partial
+// slice arrays are never returned.
+func (s *Spec) RecordSlicesCtx(ctx context.Context, input int, budget, sliceLen uint64, pool *engine.Pool, shards int, ckptEvery uint64) ([][]trace.Inst, []program.Checkpoint, error) {
+	return program.RecordSlicesCtx(ctx, s.seed(input), budget, s.Payload(input), sliceLen, pool, shards, ckptEvery)
 }
 
 // RecordRange re-materializes instructions [lo, hi) of one input's
@@ -143,12 +172,12 @@ const CkptPerCacheSlice = ^uint64(0)
 func (s *Spec) CacheSource(input int, budget uint64, pool *engine.Pool, shards int, ckptEvery uint64) tracecache.Source {
 	return tracecache.Source{
 		BudgetSensitive: s.BudgetSensitive(),
-		Record: func(sliceLen uint64) ([][]trace.Inst, []program.Checkpoint) {
+		Record: func(ctx context.Context, sliceLen uint64) ([][]trace.Inst, []program.Checkpoint, error) {
 			every := ckptEvery
 			if every == CkptPerCacheSlice {
 				every = sliceLen
 			}
-			return s.RecordSlices(input, budget, sliceLen, pool, shards, every)
+			return s.RecordSlicesCtx(ctx, input, budget, sliceLen, pool, shards, every)
 		},
 		Range: func(lo, hi uint64) []trace.Inst {
 			return s.RecordRange(input, budget, lo, hi)
