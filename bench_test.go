@@ -177,6 +177,53 @@ func runPerInstReference(s branchlab.Stream, p branchlab.Predictor) branchlab.Ru
 	return st
 }
 
+// BenchmarkTAGEPredictTrain isolates the TAGE-SC-L engine itself — no
+// measurement loop, no stream dispatch: the branch events of a recorded
+// trace are extracted once and replayed straight through the predict/
+// train/observe calls. The packed sub-benchmark is the bit-packed
+// struct-of-arrays engine, tage-reference the scalar array-of-structs
+// engine it replaced (mirroring BenchmarkCoreRun's perinst-reference
+// pattern); their ratio is the engine-level win recorded in
+// EXPERIMENTS.md. MB/s reads as M branch events/s.
+func BenchmarkTAGEPredictTrain(b *testing.B) {
+	spec, _ := branchlab.Workload("605.mcf_s")
+	tr := branchlab.RecordTrace(spec, 0, 500_000)
+	var events []branchlab.Inst
+	var inst branchlab.Inst
+	s := tr.Stream()
+	for s.Next(&inst) {
+		if inst.IsBranch() {
+			events = append(events, inst)
+		}
+	}
+	for _, e := range []struct {
+		name string
+		mk   func() branchlab.Predictor
+	}{
+		{"packed", func() branchlab.Predictor { return tage.New(tage.Config8KB()) }},
+		{"tage-reference", func() branchlab.Predictor { return tage.NewReference(tage.Config8KB()) }},
+	} {
+		b.Run(e.name, func(b *testing.B) {
+			p := e.mk()
+			tt := p.(targetTrainerRef)
+			bo := p.(branchObserverRef)
+			b.SetBytes(int64(len(events)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range events {
+					ev := &events[j]
+					if ev.IsCondBranch() {
+						pred := p.Predict(ev.IP)
+						tt.TrainWithTarget(ev.IP, ev.Target, ev.Taken, pred)
+					} else {
+						bo.ObserveBranch(ev.IP, ev.Target, ev.Kind, ev.Taken)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRecordSharded contrasts sequential trace recording with
 // sharded generation at NumCPU workers: on a multi-core host the
 // materialization path overlaps across shards; on one core the two

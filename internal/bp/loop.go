@@ -32,17 +32,37 @@ func (l *Loop) lookup(ip uint64) (*loopEntry, uint16) {
 	return &l.entries[h&((1<<l.bits)-1)], uint16(h >> l.bits)
 }
 
+// Index returns ip's entry index and tag. A caller that both queries and
+// trains the same branch (the TAGE-SC-L combiner's predict/retire pair)
+// can hash once and use the *At variants with the cached pair.
+func (l *Loop) Index(ip uint64) (uint32, uint16) {
+	h := hashIP(ip, l.bits+14)
+	return uint32(h & ((1 << l.bits) - 1)), uint16(h >> l.bits)
+}
+
 // Confident reports whether the loop predictor has a confident prediction
 // for ip; combiners use it to gate the loop override.
 func (l *Loop) Confident(ip uint64) bool {
-	e, tag := l.lookup(ip)
+	idx, tag := l.Index(ip)
+	return l.ConfidentAt(idx, tag)
+}
+
+// ConfidentAt is Confident for a pair precomputed with Index.
+func (l *Loop) ConfidentAt(idx uint32, tag uint16) bool {
+	e := &l.entries[idx]
 	return e.valid && e.tag == tag && e.conf >= loopConfTarget
 }
 
 // Predict implements Predictor. With no confident entry it predicts the
 // loop-body direction "taken", the common backward-branch case.
 func (l *Loop) Predict(ip uint64) bool {
-	e, tag := l.lookup(ip)
+	idx, tag := l.Index(ip)
+	return l.PredictAt(idx, tag)
+}
+
+// PredictAt is Predict for a pair precomputed with Index.
+func (l *Loop) PredictAt(idx uint32, tag uint16) bool {
+	e := &l.entries[idx]
 	if !e.valid || e.tag != tag {
 		return true
 	}
@@ -54,7 +74,13 @@ func (l *Loop) Predict(ip uint64) bool {
 
 // Train implements Predictor.
 func (l *Loop) Train(ip uint64, taken, _ bool) {
-	e, tag := l.lookup(ip)
+	idx, tag := l.Index(ip)
+	l.TrainAt(idx, tag, taken)
+}
+
+// TrainAt is Train for a pair precomputed with Index.
+func (l *Loop) TrainAt(idx uint32, tag uint16, taken bool) {
+	e := &l.entries[idx]
 	if !e.valid || e.tag != tag {
 		// Allocate optimistically: assume the common "taken while looping"
 		// shape; the first exit fixes pastIter.

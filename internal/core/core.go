@@ -380,9 +380,23 @@ func observeBlocks(bs trace.BlockStream, base uint64, obs ...Observer) RunStats 
 
 // runNoObservers is Run's fast path for pure-MPKI measurement: identical
 // prediction/training semantics, no observer fan-out in the loop body.
+// Predictors that implement bp.BlockRunner (TAGE-SC-L) consume whole
+// blocks in one call — the innermost loop then lives inside the
+// predictor with its dispatch inlined, and the driver/predictor boundary
+// costs one interface call per block instead of several per branch.
 func runNoObservers(bs trace.BlockStream, p bp.Predictor, tt targetTrainer, bo bp.BranchObserver) RunStats {
 	var st RunStats
 	var i uint64
+	if br, ok := p.(bp.BlockRunner); ok {
+		for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
+			cond, miss := br.RunBlock(blk)
+			st.CondExecs += cond
+			st.Mispreds += miss
+			i += uint64(len(blk))
+		}
+		st.Insts = i
+		return st
+	}
 	for blk := bs.NextBlock(); len(blk) > 0; blk = bs.NextBlock() {
 		for j := range blk {
 			inst := &blk[j]

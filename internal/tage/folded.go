@@ -53,13 +53,28 @@ func newFolded(origLen int, compLen uint) folded {
 	}
 }
 
-// update incorporates the newest bit (already pushed into g) and retires
-// the bit that just left the origLen window.
-func (f *folded) update(g *globalHist) {
-	in := uint64(g.at(0))
-	out := uint64(g.at(f.origLen))
+// update incorporates the newest bit in and retires the bit out that just
+// left the origLen window. The caller supplies both bits so that the
+// three folded families sharing one history length load the ring buffer
+// once per table instead of once per register.
+func (f *folded) update(in, out uint64) {
 	f.comp = (f.comp << 1) | in
 	f.comp ^= out << f.outpoint
 	f.comp ^= f.comp >> f.compLen
 	f.comp &= f.mask
+}
+
+// updateFolded advances the index/tag0/tag1 folded registers of every
+// table after a history push. fIdx[i], fTag0[i] and fTag1[i] share the
+// same origLen (histLens[i], an invariant of New), so the retiring bit is
+// loaded once per table — 2N fewer ring-buffer loads per branch than
+// updating each register independently.
+func updateFolded(g *globalHist, histLens []int, fIdx, fTag0, fTag1 []folded) {
+	in := uint64(g.at(0))
+	for i := range fIdx {
+		out := uint64(g.at(histLens[i]))
+		fIdx[i].update(in, out)
+		fTag0[i].update(in, out)
+		fTag1[i].update(in, out)
+	}
 }

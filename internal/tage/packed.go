@@ -1,0 +1,67 @@
+package tage
+
+// Packed tagged-table word layout (DESIGN.md §10). Each tagged-table
+// entry is one uint32 in a single contiguous array per predictor, banks
+// laid out back to back — a struct-of-arrays replacement for the old
+// 16-byte array-of-structs entry whose scattered loads dominated the
+// lookup path:
+//
+//	bits  0..15  tag     (partial tag, TagBits wide, at most 16 bits)
+//	bits 16..18  ctr+4   (3-bit signed prediction counter, biased)
+//	bits 19..20  u       (2-bit usefulness, stored value — see below)
+//	bit  21      valid
+//	bits 22..31  stamp   (epoch of the last write, mod 2^10)
+//
+// The stored u is the value as of the stamped epoch; the live value is
+// u >> (epoch - stamp) (usefulness aging is a global halving every
+// UResetPeriod updates). agedU applies that pending shift on read, and
+// every write re-materializes u and restamps — the lazy equivalent of
+// the old eager full-table sweep, without its O(total-entries) latency
+// spike inside Train. normalize() bounds stamp deltas far below the
+// 10-bit wrap so the modular subtraction in agedU is always exact.
+//
+// The old entry's owner field (allocation-churn telemetry, not modeled
+// hardware state) lives in an optional side table that exists only while
+// an AllocStats collector is attached.
+const (
+	packedTagMask    = 0xffff
+	packedCtrShift   = 16
+	packedCtrBias    = 4 // stored ctr = value + 4 ∈ [0, 7]
+	packedUShift     = 19
+	packedUMask      = 0x3
+	packedValid      = 1 << 21
+	packedStampShift = 22
+	packedStampBits  = 10
+	packedStampMask  = (1 << packedStampBits) - 1
+
+	// packedUStampClear masks away the u and stamp fields, the pair every
+	// u write replaces together.
+	packedUStampClear = ^uint32(packedUMask<<packedUShift | packedStampMask<<packedStampShift)
+
+	// normalizeEvery is the epoch period of the restamping sweep. Any
+	// word holding a nonzero u is restamped at most normalizeEvery epochs
+	// after its last write, so live stamp deltas never reach the 2^10
+	// wrap (512 < 1024) and lazy aging stays exactly equivalent to the
+	// eager sweep. The sweep itself runs once per normalizeEvery *
+	// UResetPeriod updates — amortized noise next to the per-update
+	// O(total-entries) the eager design paid every UResetPeriod.
+	normalizeEvery = 512
+)
+
+// packedCtr extracts the 3-bit signed prediction counter in [-4, 3].
+func packedCtr(w uint32) int8 {
+	return int8(w>>packedCtrShift&0x7) - packedCtrBias
+}
+
+// packWord assembles a full entry word. u is the live value (stamped now
+// by the caller's stamp argument).
+func packWord(tag uint16, ctr int8, u uint32, valid bool, stamp uint32) uint32 {
+	w := uint32(tag) |
+		uint32(ctr+packedCtrBias)<<packedCtrShift |
+		u<<packedUShift |
+		stamp<<packedStampShift
+	if valid {
+		w |= packedValid
+	}
+	return w
+}

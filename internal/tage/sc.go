@@ -11,13 +11,14 @@ type corrector struct {
 	logSize uint
 	mask    uint64
 
-	bias   []int8 // indexed by ip ^ tagePred
-	biasSK []int8 // skewed second bias table
-	global [][]int8
-	gLens  []int
-	local  [][]int8
-	lLens  []int
-	imliT  []int8
+	// flat holds every counter table back to back in index order (bias,
+	// biasSK, globals..., imli, locals...), each 1<<logSize entries. The
+	// cached scCtx indices are absolute into flat (table base folded in
+	// by tableIndices), so the per-branch sum and update loops are single
+	// strided array walks with no per-table slice dispatch.
+	flat  []int8
+	gLens []int
+	lLens []int
 
 	ghist      uint64 // recent global history (SC only needs short windows)
 	localHist  []uint16
@@ -35,28 +36,35 @@ const (
 	scMinThresh    = 4
 	scMaxThresh    = 120
 	scLocalEntries = 256
+	scMaxTables    = 16
 )
+
+// scCtx is the corrector's prediction-time context, carried inside the
+// engine's predCtx between evaluate and train. The table indices computed
+// at prediction time are cached (with the prediction flag they were
+// hashed with) so the common update path reuses them instead of re-hashing
+// every table.
+type scCtx struct {
+	sum    int32
+	pred   bool
+	used   bool
+	idx    [scMaxTables]uint32
+	idxFor bool // the TAGE/final flag idx was computed with
+}
 
 func newCorrector(cfg Config) *corrector {
 	c := &corrector{
 		logSize:   cfg.LogSC,
 		mask:      (1 << cfg.LogSC) - 1,
-		bias:      make([]int8, 1<<cfg.LogSC),
-		biasSK:    make([]int8, 1<<cfg.LogSC),
-		imliT:     make([]int8, 1<<cfg.LogSC),
 		gLens:     cfg.SCGlobalLens,
 		lLens:     cfg.SCLocalLens,
 		localHist: make([]uint16, scLocalEntries),
 		threshold: scInitThresh,
 	}
-	c.global = make([][]int8, len(c.gLens))
-	for i := range c.global {
-		c.global[i] = make([]int8, 1<<cfg.LogSC)
+	if c.numTables() > scMaxTables {
+		panic("tage: too many SC tables")
 	}
-	c.local = make([][]int8, len(c.lLens))
-	for i := range c.local {
-		c.local[i] = make([]int8, 1<<cfg.LogSC)
-	}
+	c.flat = make([]int8, c.numTables()<<cfg.LogSC)
 	return c
 }
 
@@ -72,71 +80,66 @@ func (c *corrector) localIndex(ip uint64) int {
 	return int((ip ^ ip>>9) & (scLocalEntries - 1))
 }
 
-// tableIndices fills idx with the index of every SC table for the branch
-// at ip under TAGE prediction tagePred, in a fixed order: bias, biasSK,
-// globals..., imli, locals...
-func (c *corrector) tableIndices(ip uint64, tagePred bool, idx []uint64) {
+// tableIndices fills idx with the absolute flat-array index of every SC
+// counter for the branch at ip under TAGE prediction tagePred, in table
+// order: bias, biasSK, globals..., imli, locals... Each entry carries
+// its table's base offset (k << logSize), so the sum/update loops index
+// flat directly.
+func (c *corrector) tableIndices(ip uint64, tagePred bool, idx *[scMaxTables]uint32) {
 	t := uint64(0)
 	if tagePred {
 		t = 1
 	}
-	k := 0
-	idx[k] = (scHash(ip, 0)<<1 | t) & c.mask
+	log := c.logSize
+	k := uint32(0)
+	idx[k] = uint32((scHash(ip, 0)<<1|t)&c.mask) | k<<log
 	k++
-	idx[k] = (scHash(ip, 0xABCD)<<1 | t) & c.mask
+	idx[k] = uint32((scHash(ip, 0xABCD)<<1|t)&c.mask) | k<<log
 	k++
 	for _, l := range c.gLens {
 		sig := c.ghist & ((1 << uint(l)) - 1)
-		idx[k] = scHash(ip, sig+uint64(l)<<32) & c.mask
+		idx[k] = uint32(scHash(ip, sig+uint64(l)<<32)&c.mask) | k<<log
 		k++
 	}
-	idx[k] = scHash(ip, uint64(c.imli)) & c.mask
+	idx[k] = uint32(scHash(ip, uint64(c.imli))&c.mask) | k<<log
 	k++
 	lh := uint64(c.localHist[c.localIndex(ip)])
 	for _, l := range c.lLens {
 		sig := lh & ((1 << uint(l)) - 1)
-		idx[k] = scHash(ip, sig+uint64(l)<<40) & c.mask
+		idx[k] = uint32(scHash(ip, sig+uint64(l)<<40)&c.mask) | k<<log
 		k++
 	}
 }
 
 func (c *corrector) numTables() int { return 3 + len(c.gLens) + len(c.lLens) }
 
-func (c *corrector) tableAt(i int) []int8 {
-	switch {
-	case i == 0:
-		return c.bias
-	case i == 1:
-		return c.biasSK
-	case i < 2+len(c.gLens):
-		return c.global[i-2]
-	case i == 2+len(c.gLens):
-		return c.imliT
-	default:
-		return c.local[i-3-len(c.gLens)]
+// evaluate computes the signed SC confidence for ip given the prediction
+// pred (TAGE after the loop override), filling s with the sum and the
+// cached table indices for train to reuse.
+func (c *corrector) evaluate(ip uint64, pred bool, s *scCtx) {
+	c.tableIndices(ip, pred, &s.idx)
+	s.idxFor = pred
+	sum := int32(0)
+	flat := c.flat
+	for i, n := 0, c.numTables(); i < n; i++ {
+		sum += 2*int32(flat[s.idx[i]]) + 1
 	}
+	s.sum = sum
+	s.pred = sum >= 0
+	s.used = false
 }
 
-// sum returns the signed SC confidence for ip given the TAGE prediction.
-func (c *corrector) sum(ip uint64, tagePred bool) int32 {
-	var idx [16]uint64
-	n := c.numTables()
-	c.tableIndices(ip, tagePred, idx[:n])
-	s := int32(0)
-	for i := 0; i < n; i++ {
-		s += 2*int32(c.tableAt(i)[idx[i]]) + 1
-	}
-	return s
-}
-
-// train updates SC state after the branch resolves. ctx carries the
-// prediction-time sums so the update sees exactly what the predict path
-// saw.
-func (c *corrector) train(ip, target uint64, taken bool, ctx *predCtx) {
+// train updates SC state after the branch resolves. s carries the
+// prediction-time sums and indices so the update sees exactly what the
+// predict path saw; tagePred is the pre-loop TAGE prediction the update
+// tables are conditioned on (which can differ from the flag evaluate
+// hashed with when the loop predictor overrode — the cached indices are
+// reused only when the flags coincide).
+func (c *corrector) train(ip, target uint64, taken, tagePred bool, s *scCtx) {
 	// Threshold adaptation: when SC and TAGE disagreed, track which was
 	// right and drift the override threshold accordingly.
-	if ctx.scPred != ctx.tagePred {
-		if ctx.scPred == taken {
+	if s.pred != tagePred {
+		if s.pred == taken {
 			c.tc = satUpdate(c.tc, true, -64, 63)
 		} else {
 			c.tc = satUpdate(c.tc, false, -64, 63)
@@ -155,14 +158,20 @@ func (c *corrector) train(ip, target uint64, taken bool, ctx *predCtx) {
 	}
 
 	// Counter updates: on SC misprediction or low confidence.
-	scTaken := ctx.scSum >= 0
-	if scTaken != taken || abs32(ctx.scSum) < c.threshold+10 {
-		var idx [16]uint64
-		n := c.numTables()
-		c.tableIndices(ip, ctx.tagePred, idx[:n])
-		for i := 0; i < n; i++ {
-			tbl := c.tableAt(i)
-			tbl[idx[i]] = satUpdate(tbl[idx[i]], taken, scCtrMin, scCtrMax)
+	scTaken := s.sum >= 0
+	if scTaken != taken || abs32(s.sum) < c.threshold+10 {
+		idx := &s.idx
+		if s.idxFor != tagePred {
+			// The loop predictor overrode TAGE at prediction time, so the
+			// cached indices were hashed with a different bias flag than
+			// the update needs; recompute (rare).
+			var tmp [scMaxTables]uint32
+			c.tableIndices(ip, tagePred, &tmp)
+			idx = &tmp
+		}
+		flat := c.flat
+		for i, n := 0, c.numTables(); i < n; i++ {
+			flat[idx[i]] = satUpdate(flat[idx[i]], taken, scCtrMin, scCtrMax)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package tage
 
 import (
+	"math/bits"
 	"testing"
 
 	"branchlab/internal/bp"
@@ -227,18 +228,18 @@ func TestObserveBranchShiftsHistory(t *testing.T) {
 	p := New(Config8KB())
 	// Unconditional branches must move the history so they are not
 	// invisible to pattern matching.
-	before := p.fIdx[0].comp
+	before := p.tab[0].idxComp
 	p.ObserveBranch(0x100, 0x200, 7 /* KindJump */, true)
 	// History of all-zero bits folded stays 0 only if the pushed bit is
 	// 0; unconditional pushes 1.
-	after := p.fIdx[0].comp
+	after := p.tab[0].idxComp
 	if before == after {
 		t.Error("ObserveBranch did not shift folded history")
 	}
 	// Conditional kinds are ignored here (handled via Train).
-	mid := p.fIdx[0].comp
+	mid := p.tab[0].idxComp
 	p.ObserveBranch(0x100, 0x200, 6 /* KindCondBr */, true)
-	if p.fIdx[0].comp != mid {
+	if p.tab[0].idxComp != mid {
 		t.Error("ObserveBranch must ignore conditional branches")
 	}
 }
@@ -293,7 +294,7 @@ func TestFoldedHistoryMatchesDirect(t *testing.T) {
 		}
 		hist = append([]uint8{b}, hist...)
 		g.push(b == 1)
-		f.update(g)
+		f.update(uint64(g.at(0)), uint64(g.at(f.origLen)))
 		// Direct fold: XOR 9-bit chunks of the newest 37 bits.
 		var direct uint64
 		for i := 0; i < 37; i++ {
@@ -313,7 +314,7 @@ func TestFoldedHistoryMatchesDirect(t *testing.T) {
 			f2 := newFolded(37, 9)
 			for i := min(len(hist), 37) - 1; i >= 0; i-- {
 				g2.push(hist[i] == 1)
-				f2.update(g2)
+				f2.update(uint64(g2.at(0)), uint64(g2.at(f2.origLen)))
 			}
 			if f2.comp != f.comp {
 				t.Fatalf("step %d: folded history is not a function of the last 37 bits: %x vs %x",
@@ -390,6 +391,249 @@ func TestPredictorDeterminism(t *testing.T) {
 		}
 		a.TrainWithTarget(ip, ip+64, taken, pa)
 		b.TrainWithTarget(ip, ip+64, taken, pb)
+	}
+}
+
+// --- SupraX-derived behavioral spec tests --------------------------------
+//
+// The SupraX CLZ-TAGE suite (SNIPPETS.md) treats its tests as a hardware
+// behavioral spec: loop-dominated streams, tag discrimination under index
+// aliasing, cold-start warmup, and allocation churn. The same contract is
+// pinned here against both the packed engine and the scalar reference
+// oracle — each behavior must hold for both, and the two must agree
+// prediction for prediction.
+
+// specEngine is the surface the spec tests drive; both engines satisfy it.
+type specEngine interface {
+	bp.Predictor
+	TrainWithTarget(ip, target uint64, taken, pred bool)
+}
+
+var specEngines = []struct {
+	name string
+	mk   func(cfg Config) specEngine
+}{
+	{"packed", func(cfg Config) specEngine { return New(cfg) }},
+	{"reference", func(cfg Config) specEngine { return NewReference(cfg) }},
+}
+
+// runSpec drives seq through a fresh instance of each engine, checks the
+// post-warmup accuracy bound on both, and requires the engines to agree
+// on every single prediction.
+func runSpec(t *testing.T, cfg Config, seq func(i int) (uint64, bool), warm, measure int, minAcc float64) {
+	t.Helper()
+	ps := make([]specEngine, len(specEngines))
+	for i, e := range specEngines {
+		ps[i] = e.mk(cfg)
+	}
+	correct := make([]int, len(ps))
+	for i := 0; i < warm+measure; i++ {
+		ip, taken := seq(i)
+		var first bool
+		for k, p := range ps {
+			pred := p.Predict(ip)
+			if k == 0 {
+				first = pred
+			} else if pred != first {
+				t.Fatalf("step %d: %s predicts %v, %s predicts %v",
+					i, specEngines[0].name, first, specEngines[k].name, pred)
+			}
+			if pred == taken && i >= warm {
+				correct[k]++
+			}
+			p.Train(ip, taken, pred)
+		}
+	}
+	for k := range ps {
+		acc := float64(correct[k]) / float64(measure)
+		if acc < minAcc {
+			t.Errorf("%s: accuracy %v, want >= %v", specEngines[k].name, acc, minAcc)
+		}
+	}
+}
+
+func TestSpecLoopDominated(t *testing.T) {
+	// Nested fixed-trip loops (the SupraX loop-dominated vector): an inner
+	// loop of 7 iterations inside an outer loop of 23. Both exit branches
+	// are deterministic functions of history; a TAGE + loop-predictor
+	// stack must be near-perfect once warm.
+	inner, outer := 0, 0
+	seq := func(i int) (uint64, bool) {
+		if i%2 == 0 {
+			inner++
+			if inner == 7 {
+				inner = 0
+				return 0x1000, false
+			}
+			return 0x1000, true
+		}
+		outer++
+		if outer == 23 {
+			outer = 0
+			return 0x2000, false
+		}
+		return 0x2000, true
+	}
+	runSpec(t, Config8KB(), seq, 30000, 30000, 0.98)
+}
+
+func TestSpecTagAliasing(t *testing.T) {
+	// Two branches engineered to collide in table indices (IPs differing
+	// only in high bits beyond the index fold) but with opposite fixed
+	// directions. Partial tags must keep them apart: both sides predicted
+	// nearly perfectly, rather than thrashing a shared entry.
+	seq := func(i int) (uint64, bool) {
+		if i%2 == 0 {
+			return 0x40_0000_0400, true
+		}
+		return 0x80_0000_0400, false
+	}
+	runSpec(t, Config8KB(), seq, 4000, 20000, 0.99)
+}
+
+func TestSpecWarmup(t *testing.T) {
+	// Cold-start contract: a fresh predictor must produce a defined
+	// prediction for any IP (base-predictor fallback — there is no "no
+	// match"), both engines must agree while stone cold, and accuracy on a
+	// learnable pattern must improve from the cold window to the warm one.
+	for _, e := range specEngines {
+		a, b := e.mk(Config8KB()), e.mk(Config8KB())
+		rng := xrand.New(17)
+		for i := 0; i < 64; i++ {
+			ip := rng.Uint64()
+			if a.Predict(ip) != b.Predict(ip) {
+				t.Errorf("%s: cold prediction not deterministic at ip %#x", e.name, ip)
+			}
+		}
+	}
+	pattern := []bool{true, true, false, true, false, false, true, false, true, true, false}
+	seq := func(i int) (uint64, bool) { return 0x400, pattern[i%len(pattern)] }
+	for _, e := range specEngines {
+		p := e.mk(Config8KB())
+		cold := accuracyAfterWarmup(p, seq, 0, 500)
+		warm := accuracyAfterWarmup(p, seq, 10000, 10000)
+		if warm <= cold {
+			t.Errorf("%s: warmup did not help (cold %v, warm %v)", e.name, cold, warm)
+		}
+		if warm < 0.97 {
+			t.Errorf("%s: warm accuracy %v on period-%d pattern", e.name, warm, len(pattern))
+		}
+	}
+}
+
+func TestSpecAllocationChurn(t *testing.T) {
+	// Allocation-churn contract: a hard random branch keeps allocating
+	// (the paper's H2P churn signature), and the packed engine's side-table
+	// telemetry must agree event for event with the reference's inline
+	// owner fields — same totals, same per-IP allocation counts, same
+	// unique-entry sets, same victim attributions.
+	packed := New(Config8KB())
+	ref := NewReference(Config8KB())
+	sa, sb := packed.EnableAllocTracking(), ref.EnableAllocTracking()
+	rng := xrand.New(23)
+	hard := uint64(0xAAA0)
+	for i := 0; i < 50000; i++ {
+		var ip uint64
+		var taken bool
+		if i%3 == 0 {
+			ip, taken = hard, rng.Bool(0.5)
+		} else {
+			ip, taken = 0xE00+uint64(i%11)*4, i%2 == 0
+		}
+		pa, pb := packed.Predict(ip), ref.Predict(ip)
+		if pa != pb {
+			t.Fatalf("engines diverged at step %d", i)
+		}
+		packed.Train(ip, taken, pa)
+		ref.Train(ip, taken, pb)
+	}
+	if sa.TotalAllocs == 0 {
+		t.Fatal("no allocation churn generated")
+	}
+	if sa.TotalAllocs != sb.TotalAllocs {
+		t.Errorf("TotalAllocs: packed %d, reference %d", sa.TotalAllocs, sb.TotalAllocs)
+	}
+	if len(sa.AllocsPerIP) != len(sb.AllocsPerIP) {
+		t.Errorf("AllocsPerIP size: packed %d, reference %d", len(sa.AllocsPerIP), len(sb.AllocsPerIP))
+	}
+	for ip, n := range sa.AllocsPerIP {
+		if sb.AllocsPerIP[ip] != n {
+			t.Errorf("Allocs(%#x): packed %d, reference %d", ip, n, sb.AllocsPerIP[ip])
+		}
+		if sa.UniqueEntries(ip) != sb.UniqueEntries(ip) {
+			t.Errorf("UniqueEntries(%#x): packed %d, reference %d", ip, sa.UniqueEntries(ip), sb.UniqueEntries(ip))
+		}
+	}
+	if len(sa.EvictionsPerIP) != len(sb.EvictionsPerIP) {
+		t.Errorf("EvictionsPerIP size: packed %d, reference %d", len(sa.EvictionsPerIP), len(sb.EvictionsPerIP))
+	}
+	for ip, n := range sa.EvictionsPerIP {
+		if sb.EvictionsPerIP[ip] != n {
+			t.Errorf("Evictions(%#x): packed %d, reference %d", ip, n, sb.EvictionsPerIP[ip])
+		}
+	}
+}
+
+func TestSpecLongestMatchBitmap(t *testing.T) {
+	// The packed engine resolves longest-match provider/alternate selection
+	// with bits.Len32 over the match bitmap (the SupraX CLZ idiom). Verify
+	// it against the reference's top-down scan for every bitmap over 12
+	// banks.
+	const n = 12
+	for match := uint32(0); match < 1<<n; match++ {
+		provScan, altScan := -1, -1
+		for i := n - 1; i >= 0; i-- {
+			if match&(1<<uint(i)) != 0 {
+				if provScan < 0 {
+					provScan = i
+				} else {
+					altScan = i
+					break
+				}
+			}
+		}
+		provCLZ, altCLZ := -1, -1
+		if match != 0 {
+			provCLZ = bits.Len32(match) - 1
+			if rest := match &^ (1 << uint(provCLZ)); rest != 0 {
+				altCLZ = bits.Len32(rest) - 1
+			}
+		}
+		if provCLZ != provScan || altCLZ != altScan {
+			t.Fatalf("bitmap %#03x: CLZ (%d, %d) != scan (%d, %d)",
+				match, provCLZ, altCLZ, provScan, altScan)
+		}
+	}
+}
+
+func TestPackedWordRoundTrip(t *testing.T) {
+	// Every field of the packed word must survive a pack/extract cycle,
+	// for the full range of every field.
+	for _, tag := range []uint16{0, 1, 0x7f, 0xff, 0x3fff, 0xffff} {
+		for ctr := int8(-4); ctr <= 3; ctr++ {
+			for u := uint32(0); u <= 3; u++ {
+				for _, valid := range []bool{false, true} {
+					for _, stamp := range []uint32{0, 1, 511, packedStampMask} {
+						w := packWord(tag, ctr, u, valid, stamp)
+						if got := uint16(w & packedTagMask); got != tag {
+							t.Fatalf("tag: packed %#x, got %#x", tag, got)
+						}
+						if got := packedCtr(w); got != ctr {
+							t.Fatalf("ctr: packed %d, got %d", ctr, got)
+						}
+						if got := w >> packedUShift & packedUMask; got != u {
+							t.Fatalf("u: packed %d, got %d", u, got)
+						}
+						if got := w&packedValid != 0; got != valid {
+							t.Fatalf("valid: packed %v, got %v", valid, got)
+						}
+						if got := w >> packedStampShift & packedStampMask; got != stamp {
+							t.Fatalf("stamp: packed %d, got %d", stamp, got)
+						}
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -17,23 +17,38 @@ type AllocStats struct {
 	TotalAllocs uint64
 }
 
-// EnableAllocTracking switches on allocation telemetry and returns the
-// collector that will accumulate it. Tracking costs a map update per
-// allocation; predictions are unaffected.
-func (p *Predictor) EnableAllocTracking() *AllocStats {
-	p.allocs = &AllocStats{
+func newAllocStats() *AllocStats {
+	return &AllocStats{
 		AllocsPerIP:    make(map[uint64]uint64),
 		unique:         make(map[uint64]map[uint32]struct{}),
 		EvictionsPerIP: make(map[uint64]uint64),
 	}
+}
+
+// EnableAllocTracking switches on allocation telemetry and returns the
+// collector that will accumulate it. Tracking costs a map update per
+// allocation; predictions are unaffected.
+//
+// The per-entry owner (the IP that allocated each tagged entry, needed
+// for victim attribution) is measurement telemetry, not modeled hardware
+// state: it lives in a side table that is only allocated here, so an
+// untracked predictor carries no owner storage at all. Attach the
+// collector before the first Train — entries allocated earlier have no
+// recorded owner and their eviction would go unattributed.
+func (p *Predictor) EnableAllocTracking() *AllocStats {
+	p.allocs = newAllocStats()
+	if p.owners == nil {
+		p.owners = make([][]uint64, p.cfg.NumTables)
+		for i := range p.owners {
+			p.owners[i] = make([]uint64, int(p.tab[i].idxMask)+1)
+		}
+	}
 	return p.allocs
 }
 
-func (p *Predictor) recordAlloc(ip uint64, table, index int, victim uint64, victimValid bool) {
-	a := p.allocs
-	if a == nil {
-		return
-	}
+// record accumulates one allocation event: ip claimed (table, index),
+// evicting victim if victimValid.
+func (a *AllocStats) record(ip uint64, table, index int, victim uint64, victimValid bool) {
 	a.TotalAllocs++
 	a.AllocsPerIP[ip]++
 	slot := uint32(table)<<24 | uint32(index)

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR5.json,
+# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR8.json,
 # and diff the replay-loop benchmarks against the previous PR's
-# committed baseline (BENCH_PR4.json) so regressions in the block
+# committed baseline (BENCH_PR5.json) so regressions in the block
 # pipeline fail loudly.
 #
 # Tracked benchmarks (the perf trajectory of the replay refactors):
 #   BenchmarkRunAll/cache={off,on}      - full `-run all` registry, uncached vs cached
 #   BenchmarkCoreRun/observers={off,on} - block replay loop, fast path vs fan-out
 #   BenchmarkCoreRun/perinst-reference  - pre-block per-instruction loop (baseline)
+#   BenchmarkTAGEPredictTrain/{packed,tage-reference}
+#                                       - the TAGE-SC-L engine alone: bit-packed
+#                                         struct-of-arrays vs the scalar
+#                                         array-of-structs engine it replaced
 #   BenchmarkTraceCacheHit              - cache serve-from-memory cost
 #   BenchmarkTraceCacheSlicedReplay/{resident,evicted}
 #                                       - slice-cache replay: zero-copy resident
@@ -22,7 +26,7 @@
 #   BenchmarkFig5Parallel/workers=N     - engine scaling (meaningful on multi-core hosts)
 #   BenchmarkRecordSharded/shards=N     - sharded deterministic trace recording
 #
-# Two regression checks run after the benchmarks:
+# Three regression checks run after the benchmarks:
 #   1. Intra-run gate (host-independent): the block replay loop
 #      (CoreRun/observers=off) is compared against the pre-block
 #      per-instruction reference compiled into the same binary and run
@@ -31,7 +35,12 @@
 #      regressions, meaningful on any machine. Enforced when both
 #      samples averaged >= 3 iterations (BENCHTIME >= 3x); a
 #      single-iteration sample only reports.
-#   2. Cross-run diff vs the committed BENCH_PR4.json baseline:
+#   2. Engine gate (host-independent, same shape as 1): the packed
+#      TAGE engine (TAGEPredictTrain/packed) against the scalar
+#      reference engine in the same binary and run
+#      (TAGEPredictTrain/tage-reference). The packed engine exists to
+#      be faster; a ratio above TAGE_MAX fails the script.
+#   3. Cross-run diff vs the committed BENCH_PR5.json baseline:
 #      printed for trend tracking; it only FAILS when BASELINE_GATE=1,
 #      because absolute ns/op from a different host (e.g. a CI runner
 #      vs the machine that recorded the baseline) cannot gate
@@ -45,23 +54,25 @@
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x scripts/bench.sh            # CI smoke (one iteration each)
 #   BENCHTIME=5s scripts/bench.sh            # stable numbers for doc updates
-#   BLOCK_MAX=1.5 scripts/bench.sh           # loosen the intra-run gate
+#   BLOCK_MAX=1.5 scripts/bench.sh           # loosen the replay intra-run gate
+#   TAGE_MAX=0.9 scripts/bench.sh            # tighten the engine gate
 #   BASELINE_GATE=1 REGRESSION_MAX=1.3 ...   # enforce the baseline diff
 #   BASELINE=/dev/null scripts/bench.sh      # skip the baseline diff
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-1s}"
-baseline="${BASELINE:-BENCH_PR4.json}"
+baseline="${BASELINE:-BENCH_PR5.json}"
 regmax="${REGRESSION_MAX:-1.30}"
 blockmax="${BLOCK_MAX:-1.25}"
+tagemax="${TAGE_MAX:-1.00}"
 basegate="${BASELINE_GATE:-0}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTraceCacheHit$|BenchmarkTraceCacheSlicedReplay$|BenchmarkEvictedRefill$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
+  -bench 'BenchmarkRunAll$|BenchmarkCoreRun$|BenchmarkTAGEPredictTrain$|BenchmarkTraceCacheHit$|BenchmarkTraceCacheSlicedReplay$|BenchmarkEvictedRefill$|BenchmarkFig5Parallel$|BenchmarkRecordSharded$' \
   -benchtime "$benchtime" . | tee "$raw" >&2
 
 awk -v benchtime="$benchtime" '
@@ -91,6 +102,8 @@ BenchmarkRunAll/cache=on
 BenchmarkCoreRun/observers=off
 BenchmarkCoreRun/observers=on
 BenchmarkCoreRun/perinst-reference
+BenchmarkTAGEPredictTrain/packed
+BenchmarkTAGEPredictTrain/tage-reference
 BenchmarkTraceCacheHit
 BenchmarkTraceCacheSlicedReplay/resident
 BenchmarkTraceCacheSlicedReplay/evicted
@@ -139,7 +152,30 @@ elif [ "$(awk -v r="$ratio" -v m="$blockmax" 'BEGIN { print (r > m) ? 1 : 0 }')"
   exit 1
 fi
 
-# 2. Cross-run diff vs the committed baseline (RunAll, CoreRun,
+# 2. Engine gate: the packed TAGE engine vs the scalar reference engine
+# in the same binary on the same run. Host-independent, same
+# single-iteration caveat as gate 1. TAGE_MAX defaults to 1.00 — the
+# packed engine must at minimum not be slower than the engine it
+# replaced (locally it measures well under that; the slack absorbs
+# scheduler noise on loaded CI runners).
+packed_ns="$(parse "$out" | awk '$1 == "BenchmarkTAGEPredictTrain/packed" { print $2 }')"
+tref_ns="$(parse "$out" | awk '$1 == "BenchmarkTAGEPredictTrain/tage-reference" { print $2 }')"
+packed_it="$(parseiters "$out" 'BenchmarkTAGEPredictTrain\/packed')"
+tref_it="$(parseiters "$out" 'BenchmarkTAGEPredictTrain\/tage-reference')"
+if [ -z "$packed_ns" ] || [ -z "$tref_ns" ]; then
+  echo "bench.sh: could not parse the engine gate samples from $out" >&2
+  exit 1
+fi
+ratio="$(awk -v a="$packed_ns" -v b="$tref_ns" 'BEGIN { printf "%.3f", a/b }')"
+echo "packed TAGE engine vs scalar reference (same run): ${ratio}x (gate ${tagemax}x)" >&2
+if [ "${packed_it:-0}" -lt 3 ] || [ "${tref_it:-0}" -lt 3 ]; then
+  echo "  (single-sample timings — gate reported, not enforced; use BENCHTIME>=3x to enforce)" >&2
+elif [ "$(awk -v r="$ratio" -v m="$tagemax" 'BEGIN { print (r > m) ? 1 : 0 }')" = 1 ]; then
+  echo "bench.sh: packed TAGE engine is ${ratio}x the scalar reference (max ${tagemax}x) — engine regression" >&2
+  exit 1
+fi
+
+# 3. Cross-run diff vs the committed baseline (RunAll, CoreRun,
 # RecordSharded; the other benchmarks are new in this PR or measure a
 # path whose work changed shape between PRs and so have no comparable
 # baseline). Printed for trend tracking; enforced only with
