@@ -41,6 +41,7 @@ import (
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
 	"branchlab/internal/tracecache"
+	"branchlab/internal/tracestore"
 	"branchlab/internal/workload"
 	"branchlab/internal/zoo"
 )
@@ -212,6 +213,33 @@ func NewTraceCache(maxBytes int64) *TraceCache { return tracecache.New(maxBytes)
 // granularity in instructions (0 = whole-trace eviction).
 func NewSlicedTraceCache(maxBytes int64, sliceInsts uint64) *TraceCache {
 	return tracecache.NewSliced(maxBytes, sliceInsts)
+}
+
+// TraceStore is the persistent, content-addressed disk tier beneath a
+// TraceCache (DESIGN.md §11): recordings write through to its
+// directory, slices the RAM cap evicts promote back zero-copy
+// (mmap-served where the platform supports it), and a later process
+// pointed at the same directory restores whole traces — header,
+// checkpoints and slices — without recording at all. Every file is
+// checksummed and keyed by the recording's full content identity
+// (workload, input, budget, slice geometry, checkpoint spacing, format
+// version, instruction layout); anything corrupt or mismatched is
+// rejected and re-recorded, so a warm store can cost extra recording
+// but never wrong bytes.
+type TraceStore = tracestore.Store
+
+// TraceStoreStats are a store's hit/write/reject counters and disk
+// accounting.
+type TraceStoreStats = tracestore.Stats
+
+// OpenTraceStore opens (creating if needed) a trace store rooted at
+// dir, holding at most maxBytes of trace data on disk (0 = unbounded;
+// whole least-recently-used traces evict first). Attach it with
+// TraceCache.SetStore or ExperimentConfig.Store, and Close it only
+// after replays are done — pins served from the store become invalid
+// at Close.
+func OpenTraceStore(dir string, maxBytes int64) (*TraceStore, error) {
+	return tracestore.Open(dir, maxBytes)
 }
 
 // RecordTraceCachedCtx is RecordTraceCached under a caller context: a

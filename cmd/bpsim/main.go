@@ -8,6 +8,7 @@
 //	bpsim -workload game -predictor tage-sc-l-64 -pipeline 4
 //	bpsim -workload game -pipeline 1,4,16 -parallel 3
 //	bpsim -workload game -pipeline 1,4,16 -tracecache 64 -cacheslice 65536 -ckptslice 65536
+//	bpsim -workload game -pipeline 1,4,16 -tracestore ./store -tracestorecap 512
 //	bpsim -workload game -budget 8000000 -recshards 4
 //	bpsim -trace trace.blt -predictor gshare
 //	bpsim -list
@@ -33,6 +34,7 @@ import (
 	"branchlab/internal/pipeline"
 	"branchlab/internal/trace"
 	"branchlab/internal/tracecache"
+	"branchlab/internal/tracestore"
 	"branchlab/internal/workload"
 	"branchlab/internal/zoo"
 )
@@ -51,6 +53,8 @@ func main() {
 		cacheMB      = flag.Int64("tracecache", 0, "trace cache cap in MiB (0 = unbounded; evicted slices re-record byte-identically); setting it forces caching even for single-scale runs")
 		cacheSlice   = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
 		ckptSlice    = flag.Uint64("ckptslice", tracecache.DefaultSliceInsts, "payload checkpoint spacing in instructions for O(window) evicted-slice refills (0 = no checkpoints)")
+		storeFlag    = flag.String("tracestore", "", "persistent trace store directory (\"\" = off); warm runs replay stored traces without recording; setting it forces caching")
+		storeCapFlag = flag.Int64("tracestorecap", 0, "trace store disk budget in MiB (0 = unbounded); coldest whole traces evict first")
 		deadline     = flag.Duration("deadline", 0, "whole-invocation wall-clock bound (0 = none); an expired run fails typed, never prints truncated results")
 		cacheStats   = tracecache.StatsFlag(nil)
 		list         = flag.Bool("list", false, "list workloads and predictors")
@@ -69,6 +73,8 @@ func main() {
 	cacheCap = *cacheMB << 20
 	cacheSliceInsts = *cacheSlice
 	ckptSliceInsts = *ckptSlice
+	storeDir = *storeFlag
+	storeCapBytes = *storeCapFlag << 20
 	printCacheStats = *cacheStats
 
 	if *list {
@@ -93,11 +99,15 @@ func main() {
 		os.Exit(1)
 	}
 	// The workload cache exists for multi-scale sweeps, sharded
-	// recording, and whenever -tracecache is explicitly provided (see
-	// run); geometry flags outside those combinations would be silently
-	// ignored, so they are rejected instead.
-	cacheForced = cliutil.Provided(nil, "tracecache")
+	// recording, and whenever -tracecache or -tracestore is explicitly
+	// provided (see run); geometry flags outside those combinations
+	// would be silently ignored, so they are rejected instead.
+	cacheForced = cliutil.Provided(nil, "tracecache") || storeDir != ""
 	cacheWillExist := *traceFile == "" && (len(scales) > 1 || *recShards > 1 || cacheForced)
+	if *traceFile != "" && storeDir != "" {
+		fmt.Fprintln(os.Stderr, "bpsim: -tracestore persists workload recordings and has no effect with -trace (files re-open and stream)")
+		os.Exit(1)
+	}
 	if err := (cliutil.RunFlags{
 		Budget:        *budget,
 		SliceLen:      *sliceLen,
@@ -106,6 +116,9 @@ func main() {
 		CacheEnabled:  cacheWillExist,
 		CacheSliceSet: cliutil.Provided(nil, "cacheslice"),
 		CkptSliceSet:  cliutil.Provided(nil, "ckptslice"),
+		StoreSet:      storeDir != "",
+		StoreCap:      *storeCapFlag,
+		StoreCapSet:   cliutil.Provided(nil, "tracestorecap"),
 		Deadline:      *deadline,
 		DeadlineSet:   cliutil.Provided(nil, "deadline"),
 	}).Validate(); err != nil {
@@ -163,7 +176,9 @@ var (
 	cacheCap        int64
 	cacheSliceInsts uint64
 	ckptSliceInsts  uint64
-	cacheForced     bool // -tracecache explicitly provided
+	cacheForced     bool   // -tracecache or -tracestore explicitly provided
+	storeDir        string // -tracestore directory ("" = off)
+	storeCapBytes   int64  // -tracestorecap in bytes (0 = unbounded)
 	printCacheStats bool
 )
 
@@ -187,6 +202,21 @@ func run(ctx context.Context, workloadName string, input int, traceFile, predNam
 	var cache *tracecache.Cache
 	if traceFile == "" && (len(pipeScales) > 1 || recShards > 1 || cacheForced) {
 		cache = tracecache.NewSliced(cacheCap, cacheSliceInsts)
+		// -tracestore adds the persistent tier beneath the cache
+		// (DESIGN.md §11): recordings write through to the directory,
+		// evicted slices promote back from disk, and a warm directory
+		// restores whole traces across invocations without recording.
+		if storeDir != "" {
+			store, err := tracestore.Open(storeDir, storeCapBytes)
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			cache.SetStore(store)
+			if printCacheStats {
+				defer tracestore.WriteStats(os.Stderr, store)
+			}
+		}
 	}
 	open := func() (trace.Stream, func(), error) {
 		if traceFile != "" {

@@ -30,6 +30,17 @@
 // diff-able. -recshards N records each trace on N workers (sharded
 // deterministic recording); output stays byte-identical in every
 // combination of flags.
+//
+// -tracestore DIR adds a persistent content-addressed tier beneath the
+// RAM cache (DESIGN.md §11): recordings write through to DIR, evicted
+// slices promote back from disk (mmap, zero-copy) instead of
+// re-recording, and a later invocation against the same DIR restores
+// whole traces — header, checkpoints and slices — without recording at
+// all. Every stored file is checksummed; a corrupt or mismatched file
+// is rejected and re-recorded, so a warm store can cost extra
+// recording but never wrong bytes. -tracestorecap bounds the store in
+// MiB (0 = unbounded) with whole-trace LRU eviction. Store counters
+// print alongside the cache's behind -cachestats.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"branchlab/internal/experiments"
 	"branchlab/internal/faultinject"
 	"branchlab/internal/tracecache"
+	"branchlab/internal/tracestore"
 )
 
 func main() {
@@ -58,6 +70,8 @@ func main() {
 		cacheSl  = flag.Uint64("cacheslice", tracecache.DefaultSliceInsts, "trace cache slice granularity in instructions (0 = whole-trace eviction)")
 		ckptSl   = flag.Uint64("ckptslice", tracecache.DefaultSliceInsts, "payload checkpoint spacing in instructions for O(window) evicted-slice refills (0 = no checkpoints)")
 		shards   = flag.Int("recshards", 0, "record each trace on this many workers (<= 1 = sequential; output is byte-identical)")
+		storeDir = flag.String("tracestore", "", "persistent trace store directory (\"\" = off); warm runs replay stored traces without recording")
+		storeCap = flag.Int64("tracestorecap", 0, "trace store disk budget in MiB (0 = unbounded); coldest whole traces evict first")
 		deadline = flag.Duration("deadline", 0, "per-experiment wall-clock bound (0 = none); an expired run fails typed, never prints partial artifacts")
 		stats    = tracecache.StatsFlag(nil)
 	)
@@ -108,6 +122,9 @@ func main() {
 		CacheEnabled:  *cacheMB != 0,
 		CacheSliceSet: cliutil.Provided(nil, "cacheslice"),
 		CkptSliceSet:  cliutil.Provided(nil, "ckptslice"),
+		StoreSet:      *storeDir != "",
+		StoreCap:      *storeCap,
+		StoreCapSet:   cliutil.Provided(nil, "tracestorecap"),
 		Deadline:      *deadline,
 		DeadlineSet:   cliutil.Provided(nil, "deadline"),
 	}).Validate(); err != nil {
@@ -115,6 +132,15 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Deadline = *deadline
+	if *storeDir != "" {
+		store, err := tracestore.Open(*storeDir, *storeCap<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		cfg.Store = store
+	}
 	if *cacheMB != 0 {
 		limit := *cacheMB << 20
 		if limit < 0 {
@@ -153,6 +179,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: completed %d/%d experiments\n", completed, len(runners))
 			if *stats {
 				tracecache.WriteStats(os.Stderr, cfg.Cache)
+				tracestore.WriteStats(os.Stderr, cfg.Store)
 			}
 			os.Exit(1)
 		}
@@ -163,5 +190,6 @@ func main() {
 	}
 	if *stats {
 		tracecache.WriteStats(os.Stderr, cfg.Cache)
+		tracestore.WriteStats(os.Stderr, cfg.Store)
 	}
 }

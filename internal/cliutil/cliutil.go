@@ -26,6 +26,10 @@ type RunFlags struct {
 	CacheSliceSet bool // -cacheslice explicitly provided
 	CkptSliceSet  bool // -ckptslice explicitly provided
 
+	StoreSet    bool  // -tracestore explicitly provided (persistent tier on)
+	StoreCap    int64 // -tracestorecap value in MiB (0 = unbounded)
+	StoreCapSet bool  // -tracestorecap explicitly provided
+
 	Deadline    time.Duration // -deadline value (whole-invocation bound)
 	DeadlineSet bool          // -deadline explicitly provided
 }
@@ -54,6 +58,15 @@ func (f RunFlags) Validate() error {
 	}
 	if f.CkptSliceSet && !f.CacheEnabled {
 		return fmt.Errorf("-ckptslice has no effect without an enabled trace cache (checkpoints live in cache headers; enable -tracecache)")
+	}
+	if f.StoreSet && !f.CacheEnabled {
+		return fmt.Errorf("-tracestore has no effect without an enabled trace cache (the store is the cache's disk tier; enable -tracecache)")
+	}
+	if f.StoreCapSet && !f.StoreSet {
+		return fmt.Errorf("-tracestorecap has no effect without -tracestore")
+	}
+	if f.StoreCapSet && f.StoreCap < 0 {
+		return fmt.Errorf("-tracestorecap must be >= 0 MiB (0 = unbounded)")
 	}
 	if f.DeadlineSet && f.Deadline <= 0 {
 		return fmt.Errorf("-deadline must be > 0 when set (an instantly expired run produces nothing)")

@@ -12,27 +12,34 @@ import (
 // agree on accept/reject, and Validate must never panic. The seed
 // corpus covers each rule's boundary from both sides.
 func FuzzValidateFlags(f *testing.F) {
-	seed := func(budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool, deadlineNs int64, deadlineSet bool) {
-		f.Add(budget, slice, parallel, recshards, cache, cacheSet, ckptSet, deadlineNs, deadlineSet)
+	seed := func(budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet, storeSet bool, storeCap int64, storeCapSet bool, deadlineNs int64, deadlineSet bool) {
+		f.Add(budget, slice, parallel, recshards, cache, cacheSet, ckptSet, storeSet, storeCap, storeCapSet, deadlineNs, deadlineSet)
 	}
-	seed(30_000_000, 1_000_000, 0, 0, false, false, false, 0, false) // defaults, valid
-	seed(0, 1_000_000, 0, 0, false, false, false, 0, false)          // zero budget
-	seed(30_000_000, 0, 0, 0, false, false, false, 0, false)         // zero slice
-	seed(1, 1, -1, 0, false, false, false, 0, false)                 // negative parallel
-	seed(1, 1, 0, -1, false, false, false, 0, false)                 // negative recshards
-	seed(1, 1, 4, 8, false, false, false, 0, false)                  // shards oversubscribe pool
-	seed(1, 1, 8, 8, false, false, false, 0, false)                  // shards == pool, valid
-	seed(1, 1, 0, 8, false, false, false, 0, false)                  // shards with NumCPU pool, valid
-	seed(1, 1, 1, 1, false, false, false, 0, false)                  // sequential shard, valid
-	seed(1, 1, 0, 0, false, true, false, 0, false)                   // cacheslice without cache
-	seed(1, 1, 0, 0, false, false, true, 0, false)                   // ckptslice without cache
-	seed(1, 1, 0, 0, true, true, true, 0, false)                     // cache geometry with cache, valid
-	seed(1, 1, 0, 0, false, false, false, 0, true)                   // zero deadline, set
-	seed(1, 1, 0, 0, false, false, false, -1, true)                  // negative deadline, set
-	seed(1, 1, 0, 0, false, false, false, 1_000_000_000, true)       // positive deadline, valid
-	seed(1, 1, 0, 0, false, false, false, -5, false)                 // unset deadline ignores value
+	seed(30_000_000, 1_000_000, 0, 0, false, false, false, false, 0, false, 0, false) // defaults, valid
+	seed(0, 1_000_000, 0, 0, false, false, false, false, 0, false, 0, false)          // zero budget
+	seed(30_000_000, 0, 0, 0, false, false, false, false, 0, false, 0, false)         // zero slice
+	seed(1, 1, -1, 0, false, false, false, false, 0, false, 0, false)                 // negative parallel
+	seed(1, 1, 0, -1, false, false, false, false, 0, false, 0, false)                 // negative recshards
+	seed(1, 1, 4, 8, false, false, false, false, 0, false, 0, false)                  // shards oversubscribe pool
+	seed(1, 1, 8, 8, false, false, false, false, 0, false, 0, false)                  // shards == pool, valid
+	seed(1, 1, 0, 8, false, false, false, false, 0, false, 0, false)                  // shards with NumCPU pool, valid
+	seed(1, 1, 1, 1, false, false, false, false, 0, false, 0, false)                  // sequential shard, valid
+	seed(1, 1, 0, 0, false, true, false, false, 0, false, 0, false)                   // cacheslice without cache
+	seed(1, 1, 0, 0, false, false, true, false, 0, false, 0, false)                   // ckptslice without cache
+	seed(1, 1, 0, 0, true, true, true, false, 0, false, 0, false)                     // cache geometry with cache, valid
+	seed(1, 1, 0, 0, false, false, false, true, 0, false, 0, false)                   // tracestore without cache
+	seed(1, 1, 0, 0, true, false, false, true, 0, false, 0, false)                    // tracestore with cache, valid
+	seed(1, 1, 0, 0, true, false, false, false, 256, true, 0, false)                  // storecap without tracestore
+	seed(1, 1, 0, 0, true, false, false, true, -1, true, 0, false)                    // negative storecap
+	seed(1, 1, 0, 0, true, false, false, true, 0, true, 0, false)                     // zero storecap (unbounded), valid
+	seed(1, 1, 0, 0, true, false, false, true, 256, true, 0, false)                   // bounded storecap, valid
+	seed(1, 1, 0, 0, false, false, false, false, -7, false, 0, false)                 // unset storecap ignores value
+	seed(1, 1, 0, 0, false, false, false, false, 0, false, 0, true)                   // zero deadline, set
+	seed(1, 1, 0, 0, false, false, false, false, 0, false, -1, true)                  // negative deadline, set
+	seed(1, 1, 0, 0, false, false, false, false, 0, false, 1_000_000_000, true)       // positive deadline, valid
+	seed(1, 1, 0, 0, false, false, false, false, 0, false, -5, false)                 // unset deadline ignores value
 
-	f.Fuzz(func(t *testing.T, budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet bool, deadlineNs int64, deadlineSet bool) {
+	f.Fuzz(func(t *testing.T, budget, slice uint64, parallel, recshards int, cache, cacheSet, ckptSet, storeSet bool, storeCap int64, storeCapSet bool, deadlineNs int64, deadlineSet bool) {
 		fl := cliutil.RunFlags{
 			Budget:        budget,
 			SliceLen:      slice,
@@ -41,6 +48,9 @@ func FuzzValidateFlags(f *testing.F) {
 			CacheEnabled:  cache,
 			CacheSliceSet: cacheSet,
 			CkptSliceSet:  ckptSet,
+			StoreSet:      storeSet,
+			StoreCap:      storeCap,
+			StoreCapSet:   storeCapSet,
 			Deadline:      time.Duration(deadlineNs),
 			DeadlineSet:   deadlineSet,
 		}
@@ -53,6 +63,9 @@ func FuzzValidateFlags(f *testing.F) {
 			!(recshards > 1 && parallel > 0 && recshards > parallel) &&
 			(cache || !cacheSet) &&
 			(cache || !ckptSet) &&
+			(cache || !storeSet) &&
+			(storeSet || !storeCapSet) &&
+			(!storeCapSet || storeCap >= 0) &&
 			(!deadlineSet || deadlineNs > 0)
 		if gotOK := err == nil; gotOK != wantOK {
 			t.Errorf("Validate(%+v) = %v, independent oracle says ok=%v", fl, err, wantOK)

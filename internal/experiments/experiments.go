@@ -20,6 +20,7 @@ import (
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
 	"branchlab/internal/tracecache"
+	"branchlab/internal/tracestore"
 	"branchlab/internal/workload"
 )
 
@@ -60,6 +61,14 @@ type Config struct {
 	// actually evicts and re-materializes at.
 	CacheSlice uint64
 
+	// Store, when non-nil, is the persistent on-disk tier beneath the
+	// trace cache (DESIGN.md §11): recordings and refills write
+	// through to it, evicted slices promote back zero-copy, and a
+	// trace already stored restores without recording at all — across
+	// process restarts. NewCache attaches it; like the cache itself,
+	// attached vs not is byte-identical in every artifact.
+	Store *tracestore.Store
+
 	// CkptSlice is the payload checkpoint spacing in instructions
 	// captured during first recording (0 = no checkpoints). With
 	// checkpoints in the cache header, an evicted-slice refill resumes
@@ -95,10 +104,13 @@ func (c Config) Context() context.Context {
 
 // NewCache constructs the shared trace cache for this configuration:
 // at most maxBytes of resident instruction data (<= 0 unbounded),
-// evicted and re-materialized at CacheSlice granularity. Callers assign
-// the result to Cache.
+// evicted and re-materialized at CacheSlice granularity, persisted
+// through Store when one is configured. Callers assign the result to
+// Cache.
 func (c Config) NewCache(maxBytes int64) *tracecache.Cache {
-	return tracecache.NewSliced(maxBytes, c.CacheSlice)
+	cache := tracecache.NewSliced(maxBytes, c.CacheSlice)
+	cache.SetStore(c.Store)
+	return cache
 }
 
 // Pool returns the engine pool the experiment's work units run on,

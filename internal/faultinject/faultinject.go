@@ -52,11 +52,24 @@ const (
 	// regardless of the configured cap (tracecache evictLocked),
 	// forcing later replays through the re-materialization paths.
 	CacheEvict Point = "tracecache/evict"
+	// StoreWrite fails a persistent-store slice or header write
+	// (tracestore.Store): the write is dropped, the store stays
+	// consistent, and the content simply remains re-recordable.
+	StoreWrite Point = "tracestore/write"
+	// StoreRead fails a persistent-store slice read before the file is
+	// opened (tracestore.Store.PinSlice): the miss path re-records the
+	// slice byte-identically.
+	StoreRead Point = "tracestore/read"
+	// StoreCorrupt is a chaos point: it flips one payload byte in a
+	// slice file as it lands on disk (never in the in-memory array), so
+	// the next read of that file must fail its checksum and fall back
+	// to re-recording — the never-wrong-bytes drill.
+	StoreCorrupt Point = "tracestore/corrupt"
 )
 
 // Points returns every registered fault point.
 func Points() []Point {
-	return []Point{EngineDispatch, CacheRecord, CacheResume, CacheEvict}
+	return []Point{EngineDispatch, CacheRecord, CacheResume, CacheEvict, StoreWrite, StoreRead, StoreCorrupt}
 }
 
 // EnvSeed is the environment variable ActivateFromEnv reads: a decimal

@@ -32,6 +32,9 @@ func TestPointsCoverDocumentedCatalog(t *testing.T) {
 		faultinject.CacheRecord:    true,
 		faultinject.CacheResume:    true,
 		faultinject.CacheEvict:     true,
+		faultinject.StoreWrite:     true,
+		faultinject.StoreRead:      true,
+		faultinject.StoreCorrupt:   true,
 	}
 	got := faultinject.Points()
 	if len(got) != len(want) {

@@ -1,25 +1,33 @@
 // Package blockalias flags code that retains a slice returned by a
-// BlockStream's NextBlock method past the next call — the zero-copy
-// corruption bug class from the PR 3/4 block replay work.
+// BlockStream's NextBlock method or a tracestore Pin's PinnedInsts
+// method past its bounded lifetime — the zero-copy corruption bug
+// class from the PR 3/4 block replay work, extended to the persistent
+// store's mmap-backed pins.
 //
 // The trace.BlockStream contract: NextBlock hands out a window into
 // shared backing storage (a cached trace's slice array, a generator's
 // batch buffer) that is valid only until the next NextBlock call.
-// Storing that slice anywhere that outlives the call site — a struct
-// field, a channel, an element of a longer-lived slice or map, a
-// package-level variable, a return value — aliases storage the stream
-// will overwrite or unpin, and the corruption shows up far away, as a
-// byte-diff in a later replay.
+// The tracestore.Pin contract is the same bug with a longer fuse:
+// PinnedInsts hands out a window into an mmap'd store file that is
+// valid only until the pin's store is closed. Storing either slice
+// anywhere that outlives the call site — a struct field, a channel, an
+// element of a longer-lived slice or map, a package-level variable, a
+// return value — aliases storage the stream will overwrite or the
+// store will unmap, and the corruption shows up far away, as a
+// byte-diff (or a fault) in a later replay.
 //
-// Matching is structural: any no-argument method named NextBlock
-// returning a single slice is treated as a block source, which covers
-// every trace.BlockStream implementation without needing the interface
-// in scope. Functions themselves named NextBlock are exempt from the
-// return check: stream adapters legitimately hand blocks through
-// (trace.Limit, trace.Concat, the cache's view streams).
+// Matching is structural: any no-argument method named NextBlock or
+// PinnedInsts returning a single slice is treated as a block source,
+// which covers every trace.BlockStream implementation and
+// tracestore.Pin without needing either type in scope. Functions
+// themselves named NextBlock or PinnedInsts are exempt from the return
+// check: stream adapters and pin accessors legitimately hand blocks
+// through (trace.Limit, trace.Concat, the cache's view streams, the
+// pin type itself).
 //
-// The fix is always one of: consume the block before the next call,
-// or copy it (append([]trace.Inst(nil), blk...)) before retaining.
+// The fix is always one of: consume the block before the next call (or
+// before the pin can be released), or copy it
+// (append([]trace.Inst(nil), blk...)) before retaining.
 package blockalias
 
 import (
@@ -32,8 +40,15 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "blockalias",
-	Doc:  "flags retaining a NextBlock slice past the next call (zero-copy aliasing corruption)",
+	Doc:  "flags retaining a NextBlock or PinnedInsts slice past its lifetime (zero-copy aliasing corruption)",
 	Run:  run,
+}
+
+// sourceMethods are the no-arg one-slice-result methods whose results
+// alias shared storage with a bounded lifetime.
+var sourceMethods = map[string]bool{
+	"NextBlock":   true, // valid until the next NextBlock call
+	"PinnedInsts": true, // valid until the pin's store is closed
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -50,8 +65,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	// Stream adapters named NextBlock delegate blocks by design.
-	isAdapter := fd.Name.Name == "NextBlock"
+	// Stream adapters named NextBlock and pin accessors named
+	// PinnedInsts delegate blocks by design.
+	isAdapter := sourceMethods[fd.Name.Name]
 
 	blockVars := collectBlockVars(pass, fd)
 	isBlock := func(e ast.Expr) bool { return isBlockExpr(pass, blockVars, e) }
@@ -113,7 +129,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 
 func report(pass *analysis.Pass, pos token.Pos, how string) {
 	pass.Reportf(pos,
-		"block returned by NextBlock %s: the slice is only valid until the next NextBlock call (it aliases shared trace storage); consume it first or copy it with append([]trace.Inst(nil), blk...)", how)
+		"block returned by NextBlock/PinnedInsts %s: the slice aliases shared trace storage with a bounded lifetime (the next NextBlock call overwrites it; closing a pin's store unmaps it); consume it first or copy it with append([]trace.Inst(nil), blk...)", how)
 }
 
 // collectBlockVars finds every variable bound (transitively, through
@@ -176,11 +192,11 @@ func isBlockExpr(pass *analysis.Pass, vars map[types.Object]bool, e ast.Expr) bo
 	}
 }
 
-// isNextBlockCall matches a call of any method named NextBlock taking
-// no arguments and returning one slice.
+// isNextBlockCall matches a call of any method named NextBlock or
+// PinnedInsts taking no arguments and returning one slice.
 func isNextBlockCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "NextBlock" {
+	if !ok || !sourceMethods[sel.Sel.Name] {
 		return false
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)

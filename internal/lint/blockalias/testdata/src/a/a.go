@@ -112,9 +112,69 @@ func otherNextBlock(k *sink, n *notAStream) {
 	k.held = n.NextBlock(1)
 }
 
+// --- tracestore pins: PinnedInsts is the same bug class ---
+
+// pin mirrors the tracestore.Pin shape: a no-arg PinnedInsts method
+// returning one slice. Its result aliases an mmap'd store file that
+// goes away when the store closes.
+type pin struct{ insts []Inst }
+
+func (p *pin) PinnedInsts() []Inst { return p.insts }
+
+func storePinField(k *sink, p *pin) {
+	k.held = p.PinnedInsts() // want `stored in a field`
+}
+
+func retPin(p *pin) []Inst {
+	return p.PinnedInsts() // want `returned to the caller`
+}
+
+func aliasPinThroughReslice(k *sink, p *pin) {
+	insts := p.PinnedInsts()
+	window := insts[2:8]
+	k.byIP[window[0].IP] = window // want `stored in a map or slice element`
+}
+
+func sendPin(k *sink, p *pin) {
+	k.ch <- p.PinnedInsts() // want `sent on a channel`
+}
+
+// Consuming the pinned window in place is the intended pattern.
+func consumePin(p *pin) (n uint64) {
+	for _, in := range p.PinnedInsts() {
+		n += in.IP
+	}
+	return
+}
+
+// Copying detaches from the mapped storage.
+func copyPinOut(k *sink, p *pin) {
+	k.held = append([]Inst(nil), p.PinnedInsts()...)
+}
+
+// A pin accessor itself (any function named PinnedInsts) hands the
+// slice through by design.
+type wrappedPin struct{ p *pin }
+
+func (w *wrappedPin) PinnedInsts() []Inst { return w.p.PinnedInsts() }
+
+// A method that takes arguments is not a pin accessor.
+type notAPin struct{ insts []Inst }
+
+func (n *notAPin) PinnedInsts(max int) []Inst { return n.insts[:max] }
+
+func otherPinnedInsts(k *sink, n *notAPin) {
+	k.held = n.PinnedInsts(1)
+}
+
 // --- suppression ---
 
 func suppressedStore(k *sink, s *stream) {
 	//lint:ignore blockalias the sink is drained before the next NextBlock call
 	k.held = s.NextBlock()
+}
+
+func suppressedPinStore(k *sink, p *pin) {
+	//lint:ignore blockalias the slice is handed to a replay that finishes before the store closes
+	k.held = p.PinnedInsts()
 }

@@ -1,0 +1,127 @@
+// Checkpoint serialization: the wire form of the slice-local payload
+// contract, used by the persistent trace store (DESIGN.md §11) to carry
+// a recording's checkpoint list across process restarts. A checkpoint
+// is a pure function of (seed, budget, payload, capture index), so the
+// serialized list is byte-stable across runs and safe to content-key.
+package program
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadCheckpointData is returned (wrapped) when a serialized
+// checkpoint list cannot be decoded: truncated input, or a length
+// prefix pointing past the end. Callers treat the whole blob as
+// unusable and fall back to checkpoint-free operation.
+var ErrBadCheckpointData = errors.New("program: malformed serialized checkpoint list")
+
+// decodeCkptMax bounds the element counts a decoder will allocate for
+// before reading them, so a corrupt length prefix cannot demand
+// gigabytes. Real lists are far smaller: one checkpoint per cache
+// slice, a few dozen words of payload state each.
+const decodeCkptMax = 1 << 20
+
+// AppendCheckpoints appends the varint serialization of cks to b and
+// returns the extended slice. The encoding is self-delimiting:
+// DecodeCheckpoints reads exactly the bytes AppendCheckpoints wrote.
+func AppendCheckpoints(b []byte, cks []Checkpoint) []byte {
+	b = binary.AppendUvarint(b, uint64(len(cks)))
+	for i := range cks {
+		ck := &cks[i]
+		b = binary.AppendUvarint(b, ck.At)
+		for _, w := range ck.Rng {
+			b = binary.AppendUvarint(b, w)
+		}
+		b = binary.AppendUvarint(b, ck.CurIP)
+		b = binary.AppendUvarint(b, uint64(ck.Scratch))
+		b = binary.AppendUvarint(b, uint64(len(ck.Callers)))
+		for _, w := range ck.Callers {
+			b = binary.AppendUvarint(b, w)
+		}
+		b = binary.AppendUvarint(b, uint64(len(ck.Payload)))
+		for _, w := range ck.Payload {
+			b = binary.AppendUvarint(b, w)
+		}
+	}
+	return b
+}
+
+// DecodeCheckpoints decodes a list serialized by AppendCheckpoints from
+// the front of b, returning the list and the number of bytes consumed.
+// Any truncation or oversized length prefix fails with a typed error
+// wrapping ErrBadCheckpointData; a partially decoded list is never
+// returned.
+func DecodeCheckpoints(b []byte) ([]Checkpoint, int, error) {
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated at byte %d", ErrBadCheckpointData, off)
+		}
+		off += n
+		return v, nil
+	}
+	count, err := next()
+	if err != nil {
+		return nil, 0, err
+	}
+	if count > decodeCkptMax {
+		return nil, 0, fmt.Errorf("%w: implausible checkpoint count %d", ErrBadCheckpointData, count)
+	}
+	// Grow the list as elements decode rather than trusting the count
+	// for a large up-front allocation (the count is validated above,
+	// but each element still has to parse before it costs memory).
+	cks := make([]Checkpoint, 0, min(count, 4096))
+	for i := uint64(0); i < count; i++ {
+		var ck Checkpoint
+		if ck.At, err = next(); err != nil {
+			return nil, 0, err
+		}
+		for j := range ck.Rng {
+			if ck.Rng[j], err = next(); err != nil {
+				return nil, 0, err
+			}
+		}
+		if ck.CurIP, err = next(); err != nil {
+			return nil, 0, err
+		}
+		scratch, err := next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if scratch > 0xFF {
+			return nil, 0, fmt.Errorf("%w: scratch register %d out of range", ErrBadCheckpointData, scratch)
+		}
+		ck.Scratch = uint8(scratch)
+		nCallers, err := next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nCallers > decodeCkptMax {
+			return nil, 0, fmt.Errorf("%w: implausible caller count %d", ErrBadCheckpointData, nCallers)
+		}
+		ck.Callers = make([]uint64, nCallers)
+		for j := range ck.Callers {
+			if ck.Callers[j], err = next(); err != nil {
+				return nil, 0, err
+			}
+		}
+		nPayload, err := next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nPayload > decodeCkptMax {
+			return nil, 0, fmt.Errorf("%w: implausible payload length %d", ErrBadCheckpointData, nPayload)
+		}
+		ck.Payload = make([]uint64, nPayload)
+		for j := range ck.Payload {
+			if ck.Payload[j], err = next(); err != nil {
+				return nil, 0, err
+			}
+		}
+		cks = append(cks, ck)
+	}
+	return cks, off, nil
+}

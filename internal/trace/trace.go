@@ -110,7 +110,10 @@ type Stream interface {
 // return an empty slice). The returned slice is valid only until the
 // next NextBlock call, and callers must not modify or retain it: block
 // producers serve zero-copy views of shared backing storage (a cached
-// Buffer, a generator batch).
+// Buffer, a generator batch, or — when the cache has a persistent
+// store attached — a slice file mmap'd from disk, whose mapping the
+// store keeps alive until it is closed). The blockalias analyzer
+// enforces the no-retention rule statically (DESIGN.md §8).
 type BlockStream interface {
 	NextBlock() []Inst
 }
@@ -336,7 +339,11 @@ func Count(s Stream) uint64 {
 // *Buffer is the contiguous implementation; the slice-granular trace
 // cache serves a view that re-materializes evicted ranges on demand.
 // Replays of one Replayable are always byte-identical to each other —
-// implementations may differ in residency, never in content.
+// implementations may differ in residency, never in content. Residency
+// includes the disk tier: a cache-served view may hand out blocks
+// backed by mmap'd store files (DESIGN.md §11), which stay mapped — and
+// the blocks valid — until the store is closed, so stores are closed
+// only after every replay they serve has completed.
 type Replayable interface {
 	// Len returns the trace length in instructions.
 	Len() int

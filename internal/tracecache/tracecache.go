@@ -64,7 +64,15 @@ import (
 	"branchlab/internal/program"
 	"branchlab/internal/report"
 	"branchlab/internal/trace"
+	"branchlab/internal/tracestore"
 )
+
+// CkptPerSlice is the Source.CkptSpacing sentinel declaring that the
+// recording captures one checkpoint per cache slice, whatever slice
+// length the cache chooses (workload.CkptPerCacheSlice wires through to
+// this). The cache resolves it to the entry's slice length when
+// deriving the persistent-store key.
+const CkptPerSlice = ^uint64(0)
 
 // ErrBadSource is the sentinel wrapped when a Source produces a
 // malformed recording (middle slices not exactly sliceLen long). The
@@ -116,6 +124,14 @@ type Source struct {
 	// cache then keys this trace on (name, input, budget) and never
 	// serves it as a truncated prefix of a different budget.
 	BudgetSensitive bool
+
+	// CkptSpacing is the checkpoint spacing Record captures at (0 =
+	// none, CkptPerSlice = one per cache slice). It only parameterizes
+	// the persistent-store content key — the recording itself takes its
+	// spacing through Record's closure — but it must match what Record
+	// does: two recordings that differ in checkpoint capture are
+	// different stored artifacts.
+	CkptSpacing uint64
 }
 
 // key identifies one recordable trace. For budget-insensitive sources
@@ -138,7 +154,15 @@ type entry struct {
 	total    uint64 // instructions actually recorded (== budget unless the payload ended early)
 	sliceLen uint64 // slice granularity of this entry (== total extent when whole-trace)
 	slices   []*sliceEnt
-	rng      func(lo, hi uint64) []trace.Inst // deterministic skim refill for [lo, hi)
+	// Persistent-store identity: store is non-nil when the cache had a
+	// store attached at recording time, so evicted slices promote from
+	// disk before falling back to re-materialization, and
+	// refills/recordings write through. Captured per entry: views must
+	// keep serving through the same store even if the cache detaches it
+	// later.
+	skey  tracestore.Key
+	store *tracestore.Store
+	rng   func(lo, hi uint64) []trace.Inst // deterministic skim refill for [lo, hi)
 	// Checkpoint machinery: ckpts (sorted by At, captured during the
 	// first recording) and resume make refills O(window). Both may be
 	// empty/nil — the skim path is always available. Checkpoints live
@@ -183,6 +207,10 @@ type sliceEnt struct {
 	bytes int64
 	elem  *list.Element // LRU position; nil while evicted or in flight
 	ready chan struct{}
+	// pin holds the store pin when insts is a disk-promoted mmap view;
+	// eviction unpins it (the bytes themselves stay valid until the
+	// store closes, so streams already holding blocks are unaffected).
+	pin *tracestore.Pin
 }
 
 // lo returns the global index of the slice's first instruction.
@@ -203,11 +231,17 @@ type Stats struct {
 	Coalesced uint64 // blocked on another goroutine's in-flight recording
 	Misses    uint64 // initiated a full recording (== recordings performed)
 
-	SliceHits      uint64 // slice ranges served from resident arrays
+	SliceHits      uint64 // slice ranges served from resident arrays (the RAM tier)
 	SliceRerecords uint64 // evicted slices re-materialized on demand (resumes + skims)
 	SliceResumes   uint64 // re-materializations resumed from a checkpoint (O(window))
 	SliceSkims     uint64 // re-materializations that skimmed the prefix (O(prefix + window))
 	SliceEvictions uint64 // slices dropped by the LRU memory cap
+
+	// Disk tier (zero unless a tracestore is attached; the store's own
+	// Stats carry the write/reject detail).
+	DiskHeaderHits uint64 // recordings avoided entirely: header restored from the store
+	DiskSliceHits  uint64 // evicted slices promoted from the store instead of re-materialized
+	DiskRejects    uint64 // stored files that failed verification and fell back to re-record
 
 	Entries    int   // trace headers resident (completed recordings)
 	Slices     int   // slice arrays currently resident
@@ -223,6 +257,7 @@ func (s Stats) Table() *report.Table {
 	t := report.NewTable("trace cache",
 		"hits", "coalesced", "misses",
 		"slice hits", "re-records", "ckpt resumes", "skim refills", "evictions",
+		"disk hdrs", "disk hits", "disk rejects",
 		"traces", "slices", "MiB in use", "MiB cap",
 		"memo hits", "memo misses")
 	capMiB := "unbounded"
@@ -238,6 +273,9 @@ func (s Stats) Table() *report.Table {
 		fmt.Sprintf("%d", s.SliceResumes),
 		fmt.Sprintf("%d", s.SliceSkims),
 		fmt.Sprintf("%d", s.SliceEvictions),
+		fmt.Sprintf("%d", s.DiskHeaderHits),
+		fmt.Sprintf("%d", s.DiskSliceHits),
+		fmt.Sprintf("%d", s.DiskRejects),
 		fmt.Sprintf("%d", s.Entries),
 		fmt.Sprintf("%d", s.Slices),
 		fmt.Sprintf("%.1f", float64(s.BytesInUse)/(1<<20)),
@@ -249,10 +287,11 @@ func (s Stats) Table() *report.Table {
 
 // String is a single-line rendering of the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d coalesced=%d misses=%d slices=%d/%d sliceops=%d/%d/%d refills=%d/%d bytes=%d memo=%d/%d",
+	return fmt.Sprintf("hits=%d coalesced=%d misses=%d slices=%d/%d sliceops=%d/%d/%d refills=%d/%d disk=%d/%d/%d bytes=%d memo=%d/%d",
 		s.Hits, s.Coalesced, s.Misses, s.Slices, s.Entries,
 		s.SliceHits, s.SliceRerecords, s.SliceEvictions,
-		s.SliceResumes, s.SliceSkims, s.BytesInUse,
+		s.SliceResumes, s.SliceSkims,
+		s.DiskHeaderHits, s.DiskSliceHits, s.DiskRejects, s.BytesInUse,
 		s.MemoHits, s.MemoHits+s.MemoMisses)
 }
 
@@ -282,6 +321,7 @@ type Cache struct {
 	mu         sync.Mutex
 	maxBytes   int64
 	sliceInsts uint64
+	store      *tracestore.Store // persistent tier, or nil (RAM-only)
 	bytes      int64
 	entries    map[key]*entry
 	memos      map[string]*memoEntry
@@ -308,6 +348,40 @@ func NewSliced(maxBytes int64, sliceInsts uint64) *Cache {
 	}
 	c.lru.Init()
 	return c
+}
+
+// SetStore attaches the persistent on-disk tier (DESIGN.md §11): new
+// recordings and refills write through to s, evicted slices promote
+// back from it (checksum-verified, zero-copy), and a trace whose
+// header s already holds is restored without recording at all. Call
+// before the first Record — the store key is derived per entry at
+// recording time — and close s only after every replay served by this
+// cache has completed. nil detaches; a nil *Cache ignores the call.
+func (c *Cache) SetStore(s *tracestore.Store) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
+// storeKeyFor derives the persistent-store content key of one entry:
+// everything the recorded bytes are a function of. CkptPerSlice
+// resolves to the entry's actual slice length, so the key is stable
+// across processes configured with the same geometry.
+func storeKeyFor(name string, input int, budget, sliceLen uint64, src Source) tracestore.Key {
+	spacing := src.CkptSpacing
+	if spacing == CkptPerSlice {
+		spacing = sliceLen
+	}
+	return tracestore.Key{
+		Name:      name,
+		Input:     input,
+		Budget:    budget,
+		SliceLen:  sliceLen,
+		CkptEvery: spacing,
+	}
 }
 
 // Record returns the trace for (name, input) truncated to budget
@@ -458,13 +532,16 @@ func (c *Cache) RecordCtx(ctx context.Context, name string, input int, budget ui
 		}
 		e.resume = nil
 	}
+	if c.store != nil && budget > 0 {
+		e.store = c.store
+		e.skey = storeKeyFor(name, input, budget, e.sliceLen, src)
+	}
 	c.entries[k] = e
-	c.stats.Misses++
 	c.mu.Unlock()
 
-	// If the recording panics, withdraw the entry and wake waiters
-	// before re-raising, so coalesced goroutines retry instead of
-	// deadlocking.
+	// If the recording (or the warm restore) panics, withdraw the entry
+	// and wake waiters before re-raising, so coalesced goroutines retry
+	// instead of deadlocking.
 	done := false
 	defer func() {
 		if done {
@@ -477,6 +554,43 @@ func (c *Cache) RecordCtx(ctx context.Context, name string, input int, budget ui
 		close(e.ready)
 		c.mu.Unlock()
 	}()
+
+	// Warm start: a persisted header for this exact content restores
+	// the entry with every slice "evicted" — no recording at all. Pins
+	// then promote slices from the store (checksum-verified) and fall
+	// back to deterministic re-materialization per slice, so a stale or
+	// partial store degrades gracefully and never changes bytes.
+	if e.store != nil {
+		if total, ckpts, herr := e.store.ReadHeader(e.skey); herr == nil {
+			done = true
+			c.mu.Lock()
+			e.total = total
+			e.ckpts = ckpts
+			nslices := 0
+			if total > 0 {
+				nslices = int((total + e.sliceLen - 1) / e.sliceLen)
+			}
+			e.slices = make([]*sliceEnt, nslices)
+			for i := range e.slices {
+				e.slices[i] = &sliceEnt{e: e, idx: i}
+			}
+			close(e.ready)
+			c.stats.DiskHeaderHits++
+			if c.entries[k] == e {
+				c.stats.Entries++
+			}
+			v := viewOf(c, e, budget)
+			c.mu.Unlock()
+			return v, nil
+		} else if errors.Is(herr, tracestore.ErrReject) {
+			c.mu.Lock()
+			c.stats.DiskRejects++
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
 	arrs, ckpts, err := src.Record(ctx, e.sliceLen)
 	if err == nil {
 		if ferr := faultinject.Fail(faultinject.CacheRecord); ferr != nil {
@@ -527,7 +641,22 @@ func (c *Cache) RecordCtx(ctx context.Context, name string, input int, budget ui
 		c.evictLocked()
 	}
 	v := viewOf(c, e, budget)
+	total := e.total
 	c.mu.Unlock()
+
+	// Write through to the persistent tier, from the leader's local
+	// arrays (eviction may already be nil-ing e.slices[*].insts under
+	// the lock). Slices land before the header: a process that crashes
+	// mid-write leaves at worst a headerless directory (a clean miss)
+	// or a header whose missing slices refill deterministically —
+	// never a header promising wrong bytes. Write failures only cost a
+	// future re-record; they are counted by the store and dropped here.
+	if e.store != nil {
+		for i, a := range arrs {
+			_ = e.store.WriteSlice(e.skey, i, a)
+		}
+		_ = e.store.WriteHeader(e.skey, total, ckpts)
+	}
 	return v, nil
 }
 
@@ -576,19 +705,48 @@ func (c *Cache) pin(e *entry, si int) []trace.Inst {
 			se.ready = nil
 			c.mu.Unlock()
 		}()
-		data, resumed := e.refill(lo, hi)
+		// Promotion order: disk tier first (verified zero-copy mmap of
+		// the stored bytes), then deterministic re-materialization. A
+		// stored file that fails verification is deleted by the store
+		// and the refill below regenerates the identical bytes — the
+		// never-wrong-bytes fallback.
+		var data []trace.Inst
+		var pin *tracestore.Pin
+		resumed := false
+		if e.store != nil {
+			if p, perr := e.store.PinSlice(e.skey, si, hi-lo); perr == nil {
+				data = p.PinnedInsts()
+				pin = p
+			} else if errors.Is(perr, tracestore.ErrReject) {
+				c.mu.Lock()
+				c.stats.DiskRejects++
+				c.mu.Unlock()
+			}
+		}
+		if pin == nil {
+			data, resumed = e.refill(lo, hi)
+		}
 		done = true
 
 		c.mu.Lock()
+		// The cache is the pin's owner: the slice is retained together
+		// with se.pin, unpinned at eviction, and the backing mapping
+		// outlives every replay (store close ordering, DESIGN.md §11).
+		//lint:ignore blockalias the entry owns the pin for the slice's resident lifetime
 		se.insts = data
+		se.pin = pin
 		se.bytes = int64(len(data)) * instBytes
 		close(se.ready)
 		se.ready = nil
-		c.stats.SliceRerecords++
-		if resumed {
-			c.stats.SliceResumes++
+		if pin != nil {
+			c.stats.DiskSliceHits++
 		} else {
-			c.stats.SliceSkims++
+			c.stats.SliceRerecords++
+			if resumed {
+				c.stats.SliceResumes++
+			} else {
+				c.stats.SliceSkims++
+			}
 		}
 		if c.entries[e.key] == e {
 			se.elem = c.lru.PushBack(se)
@@ -597,6 +755,16 @@ func (c *Cache) pin(e *entry, si int) []trace.Inst {
 			c.evictLocked()
 		}
 		c.mu.Unlock()
+		// A re-materialized slice is new content for the persistent
+		// tier: write it through (outside the lock, from the local
+		// array) so the next process promotes instead of refilling.
+		if pin == nil && e.store != nil {
+			_ = e.store.WriteSlice(e.skey, si, data)
+		}
+		// Serving materialized slice contents to replays is the view
+		// contract; the entry keeps the pin alive until the slice is
+		// evicted, and the mapping until the store closes.
+		//lint:ignore blockalias the entry keeps the pin (and its mapping) alive for every served replay
 		return data
 	}
 }
@@ -713,6 +881,13 @@ func (c *Cache) evictLocked() {
 		c.lru.Remove(se.elem)
 		se.elem = nil
 		se.insts = nil
+		if se.pin != nil {
+			// Disk-promoted slice: demotion is free — the bytes are
+			// already on disk, so dropping the pin is the whole write-back
+			// (streams holding blocks stay valid until the store closes).
+			se.pin.Unpin()
+			se.pin = nil
+		}
 		c.bytes -= se.bytes
 		se.bytes = 0
 		c.stats.Slices--

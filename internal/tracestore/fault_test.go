@@ -1,0 +1,171 @@
+//go:build faultinject
+
+package tracestore
+
+import (
+	"errors"
+	"testing"
+
+	"branchlab/internal/faultinject"
+)
+
+// findFailSeed returns a seed arming pt as a Fail point with a trigger
+// no later than maxTrigger invocations, plus that trigger count.
+func findFailSeed(t *testing.T, pt faultinject.Point, maxTrigger uint64) (seed, trigger uint64) {
+	t.Helper()
+	defer faultinject.Deactivate()
+	for s := uint64(0); s < 4096; s++ {
+		if err := faultinject.Activate(s); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= maxTrigger; i++ {
+			if faultinject.Fail(pt) != nil {
+				return s, i
+			}
+		}
+	}
+	t.Fatalf("no seed in [0,4096) fires %s within %d hits", pt, maxTrigger)
+	return 0, 0
+}
+
+// findChaosSeed returns a seed whose plan turns on the pt chaos point
+// from its very first invocation.
+func findChaosSeed(t *testing.T, pt faultinject.Point) uint64 {
+	t.Helper()
+	defer faultinject.Deactivate()
+	for s := uint64(0); s < 4096; s++ {
+		if err := faultinject.Activate(s); err != nil {
+			t.Fatal(err)
+		}
+		if faultinject.Chaos(pt) {
+			return s
+		}
+	}
+	t.Fatalf("no seed in [0,4096) enables chaos at %s on the first hit", pt)
+	return 0
+}
+
+// TestStoreWriteFaultLeavesNoFile: an injected write fault drops the
+// write cleanly — no partial file, a typed error, and the very next
+// write of the same content succeeds.
+func TestStoreWriteFaultLeavesNoFile(t *testing.T) {
+	seed, trigger := findFailSeed(t, faultinject.StoreWrite, 32)
+	if err := faultinject.Activate(seed); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Deactivate()
+
+	s := mustOpen(t, t.TempDir(), 0)
+	insts := testInsts(64, 1)
+	var failed *faultinject.Error
+	for i := uint64(0); i <= trigger; i++ {
+		k := testKey()
+		k.Input = int(i)
+		err := s.WriteSlice(k, 0, insts)
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &failed) || failed.Point != faultinject.StoreWrite {
+			t.Fatalf("write failed with %v, want the injected store fault", err)
+		}
+		// The faulted write must have left nothing: a pin is a clean
+		// miss, and a retry persists and then serves.
+		if _, perr := s.PinSlice(k, 0, 64); !errors.Is(perr, ErrNotFound) {
+			t.Fatalf("faulted write left something servable: %v", perr)
+		}
+		if werr := s.WriteSlice(k, 0, insts); werr != nil {
+			t.Fatalf("retry write after fault: %v", werr)
+		}
+		p, perr := s.PinSlice(k, 0, 64)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if !sameInsts(p.PinnedInsts(), insts) {
+			t.Fatal("retry after write fault served wrong bytes")
+		}
+		p.Unpin()
+	}
+	if failed == nil {
+		t.Fatal("injected write fault never fired")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", st.WriteErrors)
+	}
+}
+
+// TestStoreReadFaultIsTypedMiss: an injected read fault fails the pin
+// with the typed injected error before any bytes are served; the file
+// itself is untouched and serves on the next pin.
+func TestStoreReadFaultIsTypedMiss(t *testing.T) {
+	seed, trigger := findFailSeed(t, faultinject.StoreRead, 32)
+	s := mustOpen(t, t.TempDir(), 0)
+	insts := testInsts(64, 2)
+	k := testKey()
+	// One file per pin below: a pin served from the mapping cache never
+	// reaches the read fault point, so each probe must open fresh.
+	for i := uint64(0); i <= trigger; i++ {
+		if err := s.WriteSlice(k, int(i), insts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := faultinject.Activate(seed); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Deactivate()
+
+	var sawFault bool
+	for i := uint64(0); i <= trigger; i++ {
+		p, err := s.PinSlice(k, int(i), 64)
+		if err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("pin failed with %v, want the injected fault", err)
+			}
+			sawFault = true
+			continue
+		}
+		if !sameInsts(p.PinnedInsts(), insts) {
+			t.Fatal("pin under read-fault plan served wrong bytes")
+		}
+		p.Unpin()
+	}
+	if !sawFault {
+		t.Fatal("injected read fault never fired")
+	}
+	if st := s.Stats(); st.ReadErrors != 1 || st.Rejects != 0 {
+		t.Fatalf("stats = %+v, want 1 read error and no rejects", st)
+	}
+}
+
+// TestStoreCorruptChaosRejectsOnRead is the never-wrong-bytes drill at
+// the store layer: the chaos point flips a byte in every slice file as
+// it lands on disk (the in-memory array stays pristine), and a fresh
+// store over the same directory must checksum-reject the file rather
+// than serve it.
+func TestStoreCorruptChaosRejectsOnRead(t *testing.T) {
+	seed := findChaosSeed(t, faultinject.StoreCorrupt)
+	if err := faultinject.Activate(seed); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Deactivate()
+
+	dir := t.TempDir()
+	insts := testInsts(128, 3)
+	k := testKey()
+	s := mustOpen(t, dir, 0)
+	if err := s.WriteSlice(k, 0, insts); err != nil {
+		t.Fatal(err)
+	}
+	// The write corrupted the file, not the array.
+	if !sameInsts(insts, testInsts(128, 3)) {
+		t.Fatal("chaos corrupted the in-memory instruction array")
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, 0)
+	if _, err := s2.PinSlice(k, 0, 128); !errors.Is(err, ErrReject) {
+		t.Fatalf("corrupted slice served: %v", err)
+	}
+	if st := s2.Stats(); st.Rejects != 1 {
+		t.Fatalf("rejects = %d, want 1", st.Rejects)
+	}
+}

@@ -1,0 +1,588 @@
+// Package tracestore is the persistent, content-addressed on-disk tier
+// beneath the RAM slice cache (DESIGN.md §11): recorded slices and
+// checkpoint-bearing trace headers land in a directory store keyed by
+// the content hash of what generated them, survive process restarts,
+// and are served back zero-copy via mmap into the replay machinery.
+//
+// The store is an exactness-preserving cache, never an authority: every
+// read re-verifies checksums, identity echoes, format version and
+// machine layout, and anything that fails — torn write, flipped bit,
+// stale version, foreign file — is deleted and reported as a typed
+// reject so the caller re-records the content. Recording is
+// deterministic, so the fallback is byte-identical to the stored bytes
+// ever being served; the store can therefore be shared between CI jobs,
+// capped, corrupted, or wiped without any run's artifacts changing.
+//
+// Concurrency: all methods are safe for concurrent use. Mappings are
+// cached per slice file and held until Close, so a pinned slice stays
+// valid across both RAM-tier eviction and disk-tier (cap) eviction of
+// its backing file — an unlinked mapping remains readable. Close
+// invalidates every pin; callers close the store only after all
+// replays using it have completed.
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"branchlab/internal/faultinject"
+	"branchlab/internal/program"
+	"branchlab/internal/report"
+	"branchlab/internal/trace"
+)
+
+// Store is one on-disk trace store rooted at a directory. The zero
+// value is not usable; construct with Open. A nil *Store is valid
+// everywhere and stores nothing (every read misses, every write is
+// dropped), so callers thread it unconditionally.
+type Store struct {
+	dir      string
+	maxBytes int64 // disk cap over payload files (0 = unbounded)
+
+	mu       sync.Mutex
+	dirBytes map[string]int64    // per-trace-directory byte totals
+	dirOrder []string            // LRU over trace dirs: front = coldest
+	maps     map[string]*mapping // verified mappings, keyed by file path
+	stats    Stats
+}
+
+// mapping is one loaded slice file: the raw bytes (mmap'd or, on the
+// portable fallback, heap-read) and the verified instruction view.
+type mapping struct {
+	raw    []byte
+	mapped bool // raw came from mmap and needs munmap at Close
+	insts  []trace.Inst
+}
+
+// Stats are the store's monotonic counters (plus point-in-time
+// occupancy). Retrieved with Store.Stats; rendered with Table/String.
+type Stats struct {
+	HeaderHits   uint64 // trace headers served from disk
+	HeaderMisses uint64 // header lookups with no stored file
+	SliceHits    uint64 // slice pins served from verified stored files
+	SliceMisses  uint64 // slice pins with no stored file
+	Rejects      uint64 // files that failed verification (deleted)
+
+	HeaderWrites uint64 // header files written
+	SliceWrites  uint64 // slice files written
+	WriteSkips   uint64 // writes skipped because the file already exists
+	WriteErrors  uint64 // writes dropped on error (content stays re-recordable)
+	ReadErrors   uint64 // reads failed before verification (treated as misses)
+
+	Traces      int    // trace directories on disk
+	BytesOnDisk int64  // bytes across all stored trace directories
+	CapBytes    int64  // configured disk cap (0 = unbounded)
+	DirsEvicted uint64 // trace directories evicted by the disk cap
+	BytesMapped int64  // bytes currently mapped (or heap-resident) for serving
+	MmapServing bool   // true when this build serves via mmap (zero-copy)
+}
+
+// Table renders the counters as a report table (for stderr diagnostics).
+func (s Stats) Table() *report.Table {
+	t := report.NewTable("trace store",
+		"hdr hits", "hdr misses", "slice hits", "slice misses", "rejects",
+		"writes", "skips", "io errors",
+		"traces", "MiB on disk", "MiB cap", "evicted", "serving")
+	capMiB := "unbounded"
+	if s.CapBytes > 0 {
+		capMiB = fmt.Sprintf("%.1f", float64(s.CapBytes)/(1<<20))
+	}
+	serving := "read"
+	if s.MmapServing {
+		serving = "mmap"
+	}
+	t.AddRow(
+		fmt.Sprintf("%d", s.HeaderHits),
+		fmt.Sprintf("%d", s.HeaderMisses),
+		fmt.Sprintf("%d", s.SliceHits),
+		fmt.Sprintf("%d", s.SliceMisses),
+		fmt.Sprintf("%d", s.Rejects),
+		fmt.Sprintf("%d", s.HeaderWrites+s.SliceWrites),
+		fmt.Sprintf("%d", s.WriteSkips),
+		fmt.Sprintf("%d", s.WriteErrors+s.ReadErrors),
+		fmt.Sprintf("%d", s.Traces),
+		fmt.Sprintf("%.1f", float64(s.BytesOnDisk)/(1<<20)),
+		capMiB,
+		fmt.Sprintf("%d", s.DirsEvicted),
+		serving)
+	return t
+}
+
+// String is a single-line rendering of the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("hdr=%d/%d slice=%d/%d rejects=%d writes=%d+%d skips=%d ioerr=%d/%d traces=%d bytes=%d evicted=%d",
+		s.HeaderHits, s.HeaderHits+s.HeaderMisses,
+		s.SliceHits, s.SliceHits+s.SliceMisses,
+		s.Rejects, s.HeaderWrites, s.SliceWrites, s.WriteSkips,
+		s.WriteErrors, s.ReadErrors, s.Traces, s.BytesOnDisk, s.DirsEvicted)
+}
+
+// WriteStats writes s's counters table to w — the one rendering both
+// CLIs share. A nil store writes nothing.
+func WriteStats(w io.Writer, s *Store) {
+	if s == nil {
+		return
+	}
+	fmt.Fprint(w, s.Stats().Table().String())
+}
+
+// Open opens (creating if needed) the store rooted at dir, holding at
+// most maxBytes of stored trace data on disk (0 = unbounded; the cap
+// counts file bytes, evicting whole least-recently-used trace
+// directories). Existing contents are inventoried in sorted name order,
+// so the initial eviction order is a pure function of the directory
+// contents — no clocks, no mtimes (the determinism contract bans them).
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("tracestore: negative cap %d", maxBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		dirBytes: make(map[string]int64),
+		maps:     make(map[string]*mapping),
+	}
+	s.stats.CapBytes = maxBytes
+	s.stats.MmapServing = mmapSupported
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() && len(e.Name()) == 16 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var total int64
+		files, err := os.ReadDir(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if info, err := f.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+		s.dirBytes[name] = total
+		s.dirOrder = append(s.dirOrder, name)
+	}
+	s.accountLocked()
+	s.evictLocked("")
+	return s, nil
+}
+
+// Dir returns the store's root directory (for diagnostics).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Stats returns a snapshot of the counters. A nil store reports zeros.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accountLocked()
+	return s.stats
+}
+
+// accountLocked refreshes the occupancy fields from the bookkeeping.
+func (s *Store) accountLocked() {
+	var total, mapped int64
+	for _, b := range s.dirBytes {
+		total += b
+	}
+	for _, m := range s.maps {
+		mapped += int64(len(m.raw))
+	}
+	s.stats.Traces = len(s.dirBytes)
+	s.stats.BytesOnDisk = total
+	s.stats.BytesMapped = mapped
+}
+
+// touchLocked moves a trace directory to the warm end of the eviction
+// order, inserting it if new. Recency is in-process access order seeded
+// from the sorted inventory — deterministic, clock-free.
+func (s *Store) touchLocked(name string) {
+	for i, n := range s.dirOrder {
+		if n == name {
+			s.dirOrder = append(append(s.dirOrder[:i:i], s.dirOrder[i+1:]...), name)
+			return
+		}
+	}
+	s.dirOrder = append(s.dirOrder, name)
+}
+
+// evictLocked removes least-recently-used trace directories until the
+// disk cap is met, never evicting keep (the directory being served or
+// written right now). Mappings into evicted files stay valid: the files
+// are unlinked, not unmapped, so outstanding pins keep their bytes.
+func (s *Store) evictLocked(keep string) {
+	if s.maxBytes == 0 {
+		return
+	}
+	total := int64(0)
+	for _, b := range s.dirBytes {
+		total += b
+	}
+	for i := 0; total > s.maxBytes && i < len(s.dirOrder); {
+		name := s.dirOrder[i]
+		if name == keep {
+			i++
+			continue
+		}
+		os.RemoveAll(filepath.Join(s.dir, name))
+		total -= s.dirBytes[name]
+		delete(s.dirBytes, name)
+		s.dirOrder = append(s.dirOrder[:i], s.dirOrder[i+1:]...)
+		s.stats.DirsEvicted++
+	}
+}
+
+// tracePath returns the directory holding k's files.
+func (s *Store) tracePath(k Key) (dir, name string) {
+	name = k.hash()
+	return filepath.Join(s.dir, name), name
+}
+
+// WriteHeader persists k's trace header: recorded extent and checkpoint
+// list. Idempotent (an existing header is left alone — same key, same
+// bytes) and non-fatal on error: a failed write only costs a future
+// re-record. Safe on a nil store.
+func (s *Store) WriteHeader(k Key, total uint64, ckpts []program.Checkpoint) error {
+	if s == nil {
+		return nil
+	}
+	dir, name := s.tracePath(k)
+	path := filepath.Join(dir, "header")
+	s.mu.Lock()
+	s.touchLocked(name)
+	if _, err := os.Stat(path); err == nil {
+		s.stats.WriteSkips++
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := faultinject.Fail(faultinject.StoreWrite); err != nil {
+		s.noteWriteError()
+		return err
+	}
+	b := encodeHeader(k, total, ckpts)
+	if err := s.atomicWrite(dir, path, func(f *os.File) error {
+		_, err := f.Write(b)
+		return err
+	}); err != nil {
+		s.noteWriteError()
+		return err
+	}
+	s.mu.Lock()
+	s.stats.HeaderWrites++
+	s.dirBytes[name] += int64(len(b))
+	s.evictLocked(name)
+	s.mu.Unlock()
+	return nil
+}
+
+// ReadHeader loads and verifies k's trace header, returning the
+// recorded extent and checkpoint list. ErrNotFound is a clean miss; a
+// verification failure deletes the whole trace directory (its identity
+// cannot be trusted) and returns a typed reject. Safe on a nil store.
+func (s *Store) ReadHeader(k Key) (total uint64, ckpts []program.Checkpoint, err error) {
+	if s == nil {
+		return 0, nil, ErrNotFound
+	}
+	dir, name := s.tracePath(k)
+	path := filepath.Join(dir, "header")
+	if err := faultinject.Fail(faultinject.StoreRead); err != nil {
+		s.noteReadError()
+		return 0, nil, err
+	}
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		s.mu.Lock()
+		s.stats.HeaderMisses++
+		s.mu.Unlock()
+		if errors.Is(rerr, os.ErrNotExist) {
+			return 0, nil, ErrNotFound
+		}
+		s.noteReadError()
+		return 0, nil, rerr
+	}
+	total, ckpts, err = decodeHeader(path, k, b)
+	if err != nil {
+		s.dropTrace(name)
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	s.stats.HeaderHits++
+	s.touchLocked(name)
+	s.mu.Unlock()
+	return total, ckpts, nil
+}
+
+// WriteSlice persists slice idx of k's recording. The payload is the
+// instruction array's raw bytes (zero-copy on the write side too);
+// insts is only read. Idempotent, non-fatal on error, safe on a nil
+// store. The StoreCorrupt chaos point flips one payload byte in the
+// file being written — never in insts — arming the never-wrong-bytes
+// drill: the next process to read the file must reject it.
+func (s *Store) WriteSlice(k Key, idx int, insts []trace.Inst) error {
+	if s == nil {
+		return nil
+	}
+	dir, name := s.tracePath(k)
+	path := filepath.Join(dir, fmt.Sprintf("s%06d", idx))
+	s.mu.Lock()
+	s.touchLocked(name)
+	if _, err := os.Stat(path); err == nil {
+		s.stats.WriteSkips++
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := faultinject.Fail(faultinject.StoreWrite); err != nil {
+		s.noteWriteError()
+		return err
+	}
+	payload := payloadBytes(insts)
+	hdr := encodeSliceHeader(k.hash64(), idx, uint64(len(insts)), fnv1a(payload))
+	corrupt := len(payload) > 0 && faultinject.Chaos(faultinject.StoreCorrupt)
+	err := s.atomicWrite(dir, path, func(f *os.File) error {
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			return err
+		}
+		if corrupt {
+			// Flip the first payload byte in the file only; the
+			// in-memory array the RAM tier serves is untouched.
+			if _, err := f.WriteAt([]byte{payload[0] ^ 0xFF}, sliceHeaderSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.noteWriteError()
+		return err
+	}
+	s.mu.Lock()
+	s.stats.SliceWrites++
+	s.dirBytes[name] += int64(len(hdr)) + int64(len(payload))
+	s.evictLocked(name)
+	s.mu.Unlock()
+	return nil
+}
+
+// atomicWrite writes a file via a uniquely named temp file in the same
+// directory plus rename, so a concurrent writer or a crash can never
+// leave a half-written file at path (readers see old, new, or nothing —
+// and "nothing" just means re-record).
+func (s *Store) atomicWrite(dir, path string, fill func(*os.File) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	return nil
+}
+
+// Pin is one served slice: a verified instruction view over store-owned
+// memory. The view stays valid until Store.Close regardless of RAM- or
+// disk-tier eviction, but holding instruction slices past Unpin is the
+// same bug class as retaining a trace.BlockStream block — the
+// blockalias analyzer enforces the discipline statically.
+type Pin struct {
+	s     *Store
+	insts []trace.Inst
+}
+
+// PinnedInsts returns the pinned instruction slice. Callers must not
+// retain it (or any subslice) past Unpin.
+func (p *Pin) PinnedInsts() []trace.Inst { return p.insts }
+
+// Unpin releases the pin. The mapping itself stays cached for future
+// pins of the same file; Unpin only ends this caller's right to the
+// bytes.
+func (p *Pin) Unpin() {
+	p.insts = nil
+}
+
+// PinSlice serves slice idx of k's recording as a verified zero-copy
+// instruction view. wantCount is the instruction count the caller's
+// trace geometry requires; any stored file disagreeing with it — or
+// failing any integrity check — is deleted and rejected. ErrNotFound
+// is a clean miss. Safe on a nil store.
+func (s *Store) PinSlice(k Key, idx int, wantCount uint64) (*Pin, error) {
+	if s == nil {
+		return nil, ErrNotFound
+	}
+	dir, name := s.tracePath(k)
+	path := filepath.Join(dir, fmt.Sprintf("s%06d", idx))
+
+	s.mu.Lock()
+	if m, ok := s.maps[path]; ok {
+		s.stats.SliceHits++
+		s.touchLocked(name)
+		s.mu.Unlock()
+		return &Pin{s: s, insts: m.insts}, nil
+	}
+	s.mu.Unlock()
+
+	if err := faultinject.Fail(faultinject.StoreRead); err != nil {
+		s.noteReadError()
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.SliceMisses++
+		s.mu.Unlock()
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		s.noteReadError()
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		s.noteReadError()
+		return nil, err
+	}
+	raw, mapped, err := mapFile(f, info.Size())
+	if err != nil {
+		s.noteReadError()
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	if err := verifySliceFile(path, raw, k.hash64(), idx, wantCount); err != nil {
+		if mapped {
+			unmapFile(raw)
+		}
+		s.rejectFile(path, name, int64(len(raw)))
+		return nil, err
+	}
+	m := &mapping{
+		raw:    raw,
+		mapped: mapped,
+		insts:  payloadInsts(raw[sliceHeaderSize:], wantCount),
+	}
+
+	s.mu.Lock()
+	if prior, ok := s.maps[path]; ok {
+		// Lost a race to another pinner of the same file; both
+		// verified the same bytes, keep theirs.
+		s.mu.Unlock()
+		if m.mapped {
+			unmapFile(m.raw)
+		}
+		m = prior
+	} else {
+		s.maps[path] = m
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.stats.SliceHits++
+	s.touchLocked(name)
+	s.mu.Unlock()
+	return &Pin{s: s, insts: m.insts}, nil
+}
+
+// rejectFile deletes one untrustworthy slice file and counts the
+// reject; the rest of the trace directory stays (each file verifies
+// independently).
+func (s *Store) rejectFile(path, name string, size int64) {
+	os.Remove(path)
+	s.mu.Lock()
+	s.stats.Rejects++
+	if b, ok := s.dirBytes[name]; ok {
+		if b -= size; b > 0 {
+			s.dirBytes[name] = b
+		} else {
+			s.dirBytes[name] = 0
+		}
+	}
+	s.mu.Unlock()
+}
+
+// dropTrace deletes an entire trace directory whose identity failed
+// verification and counts the reject.
+func (s *Store) dropTrace(name string) {
+	os.RemoveAll(filepath.Join(s.dir, name))
+	s.mu.Lock()
+	s.stats.Rejects++
+	delete(s.dirBytes, name)
+	for i, n := range s.dirOrder {
+		if n == name {
+			s.dirOrder = append(s.dirOrder[:i], s.dirOrder[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) noteWriteError() {
+	s.mu.Lock()
+	s.stats.WriteErrors++
+	s.mu.Unlock()
+}
+
+func (s *Store) noteReadError() {
+	s.mu.Lock()
+	s.stats.ReadErrors++
+	s.mu.Unlock()
+}
+
+// Close releases every cached mapping. It must only be called once all
+// replays served by this store have completed: pins do not survive
+// Close. The store directory itself is left intact — that persistence
+// is the point. Safe on a nil store.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for path, m := range s.maps {
+		if m.mapped {
+			if err := unmapFile(m.raw); err != nil && first == nil {
+				first = fmt.Errorf("tracestore: %w", err)
+			}
+		}
+		delete(s.maps, path)
+	}
+	return first
+}

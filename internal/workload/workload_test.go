@@ -8,6 +8,8 @@ import (
 	"branchlab/internal/engine"
 	"branchlab/internal/tage"
 	"branchlab/internal/trace"
+	"branchlab/internal/tracecache"
+	"branchlab/internal/tracestore"
 )
 
 func TestSuitesComplete(t *testing.T) {
@@ -292,5 +294,79 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	decoded := core.Run(trace.NewReader(&buf), tage.New(tage.Config8KB()))
 	if direct != decoded {
 		t.Errorf("decoded trace diverges: %+v vs %+v", direct, decoded)
+	}
+}
+
+// TestStoreRestartReuseAllWorkloads is the zoo-wide persistence drill:
+// every registered workload records once into a shared trace store,
+// then a simulated restart (fresh cache, fresh store handle, same
+// directory) replays each — byte-identically and without a single
+// re-recording. This is the store's whole contract in one test:
+// content keys are stable across processes, headers restore without
+// recording, and promoted slices carry exact bytes.
+func TestStoreRestartReuseAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records all 15 workloads twice")
+	}
+	const budget = 60_000
+	dir := t.TempDir()
+	all := append(SPECint2017Like(), LCFLike()...)
+
+	replay := func(c *tracecache.Cache) map[string][]trace.Inst {
+		out := make(map[string][]trace.Inst, len(all))
+		for _, s := range all {
+			src := s.CacheSource(0, budget, nil, 1, CkptPerCacheSlice)
+			v := c.Record(s.Name, 0, budget, src)
+			insts := make([]trace.Inst, 0, v.Len())
+			var inst trace.Inst
+			st := v.Stream()
+			for st.Next(&inst) {
+				insts = append(insts, inst)
+			}
+			out[s.Name] = insts
+		}
+		return out
+	}
+
+	st1, err := tracestore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := tracecache.NewSliced(0, 16384)
+	c1.SetStore(st1)
+	want := replay(c1)
+	if m := c1.Stats().Misses; m != uint64(len(all)) {
+		t.Fatalf("cold run performed %d recordings, want %d", m, len(all))
+	}
+	st1.Close()
+
+	st2, err := tracestore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c2 := tracecache.NewSliced(0, 16384)
+	c2.SetStore(st2)
+	got := replay(c2)
+	cs := c2.Stats()
+	if cs.Misses != 0 {
+		t.Fatalf("warm run performed %d recordings, want 0", cs.Misses)
+	}
+	if cs.DiskHeaderHits != uint64(len(all)) {
+		t.Fatalf("warm run restored %d headers, want %d", cs.DiskHeaderHits, len(all))
+	}
+	if ss := st2.Stats(); ss.SliceWrites != 0 || ss.Rejects != 0 {
+		t.Fatalf("warm store stats = %+v, want no writes, no rejects", ss)
+	}
+	for _, s := range all {
+		a, b := want[s.Name], got[s.Name]
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d across restart", s.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: instruction %d differs across restart", s.Name, i)
+			}
+		}
 	}
 }

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR8.json,
+# bench.sh — run the tracked hot-path benchmarks, emit BENCH_PR9.json,
 # and diff the replay-loop benchmarks against the previous PR's
-# committed baseline (BENCH_PR5.json) so regressions in the block
+# committed baseline (BENCH_PR8.json) so regressions in the block
 # pipeline fail loudly.
 #
 # Tracked benchmarks (the perf trajectory of the replay refactors):
-#   BenchmarkRunAll/cache={off,on}      - full `-run all` registry, uncached vs cached
+#   BenchmarkRunAll/cache={off,on}      - full `-run all` registry, uncached vs cached;
+#                                         with BRANCHLAB_TRACESTORE set, cache=on
+#                                         replays from the persistent store (reps
+#                                         measure replay, not recording) and its
+#                                         store hit rate lands in the JSON as
+#                                         store_hit_rate
 #   BenchmarkCoreRun/observers={off,on} - block replay loop, fast path vs fan-out
 #   BenchmarkCoreRun/perinst-reference  - pre-block per-instruction loop (baseline)
 #   BenchmarkTAGEPredictTrain/{packed,tage-reference}
@@ -40,7 +45,7 @@
 #      reference engine in the same binary and run
 #      (TAGEPredictTrain/tage-reference). The packed engine exists to
 #      be faster; a ratio above TAGE_MAX fails the script.
-#   3. Cross-run diff vs the committed BENCH_PR5.json baseline:
+#   3. Cross-run diff vs the committed BENCH_PR8.json baseline:
 #      printed for trend tracking; it only FAILS when BASELINE_GATE=1,
 #      because absolute ns/op from a different host (e.g. a CI runner
 #      vs the machine that recorded the baseline) cannot gate
@@ -54,6 +59,10 @@
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x scripts/bench.sh            # CI smoke (one iteration each)
 #   BENCHTIME=5s scripts/bench.sh            # stable numbers for doc updates
+#   BRANCHLAB_TRACESTORE=$(mktemp -d) scripts/bench.sh
+#                                            # cache=on replays through a
+#                                            # persistent store (warm after
+#                                            # the first iteration)
 #   BLOCK_MAX=1.5 scripts/bench.sh           # loosen the replay intra-run gate
 #   TAGE_MAX=0.9 scripts/bench.sh            # tighten the engine gate
 #   BASELINE_GATE=1 REGRESSION_MAX=1.3 ...   # enforce the baseline diff
@@ -61,9 +70,9 @@
 set -eu
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 benchtime="${BENCHTIME:-1s}"
-baseline="${BASELINE:-BENCH_PR5.json}"
+baseline="${BASELINE:-BENCH_PR8.json}"
 regmax="${REGRESSION_MAX:-1.30}"
 blockmax="${BLOCK_MAX:-1.25}"
 tagemax="${TAGE_MAX:-1.00}"
@@ -81,8 +90,13 @@ awk -v benchtime="$benchtime" '
     sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
     iters = $2
     ns = $3
+    extra = ""
+    # Optional metrics (b.ReportMetric) ride on the same line as
+    # "<value> <unit>" pairs; capture the store hit rate when present.
+    for (i = 4; i < NF; i++)
+      if ($(i + 1) == "store-hit-rate") extra = sprintf(", \"store_hit_rate\": %s", $i)
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, ns
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extra
   }
   BEGIN { printf "{\n\"benchtime\": \"%s\",\n\"results\": [\n", benchtime }
   END   { printf "\n]\n}\n" }
