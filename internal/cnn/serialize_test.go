@@ -2,6 +2,7 @@ package cnn
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -66,7 +67,7 @@ func TestSerializeUntrainedFails(t *testing.T) {
 }
 
 func TestReadModelRejectsGarbage(t *testing.T) {
-	if _, err := ReadModel(bytes.NewReader([]byte("NOPEnope"))); err != ErrBadHelperFile {
+	if _, err := ReadModel(bytes.NewReader([]byte("NOPEnope"))); !errors.Is(err, ErrBadHelperFile) {
 		t.Errorf("garbage accepted: %v", err)
 	}
 	// Truncated stream after a valid header.

@@ -106,6 +106,7 @@ func Abort(err error) {
 	if err == nil {
 		err = errors.New("engine: Abort(nil)")
 	}
+	//lint:ignore errcontract Abort is the documented escalation boundary: the typed abortPanic is recovered by MapErr/Recovered at every run boundary and converted back into the error
 	panic(abortPanic{err})
 }
 

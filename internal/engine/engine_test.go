@@ -105,6 +105,7 @@ func TestMapPanicPropagates(t *testing.T) {
 				if pe.Cell != 7 {
 					t.Errorf("workers=%d: panic attributed to cell %d, want 7", workers, pe.Cell)
 				}
+				//lint:ignore errcontract asserts the panic value's text survives into the message; the panic value is a string, not a sentinel
 				if !strings.Contains(err.Error(), "boom") {
 					t.Errorf("workers=%d: panic error %v lost the cause", workers, err)
 				}

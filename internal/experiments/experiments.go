@@ -224,6 +224,7 @@ func (r Runner) RunCtx(ctx context.Context, cfg Config) (art *report.Artifact, e
 // through engine.CancelError's completed-unit list, never as partial
 // artifacts).
 func (r Runner) RunErr(cfg Config) (*report.Artifact, error) {
+	//lint:ignore ctxflow RunErr is the deadline root: it mints the run context from cfg.Deadline, there is no caller context to thread
 	ctx := context.Background()
 	if cfg.Deadline > 0 {
 		var cancel context.CancelFunc

@@ -36,12 +36,14 @@ import (
 )
 
 // Analyzer describes one static check: a name (used in diagnostics and
-// //lint:ignore directives), documentation, and the function that runs
-// the check over a single package.
+// //lint:ignore directives), documentation, the function that runs the
+// check over a single package, and the fact types it exchanges across
+// package boundaries (facts.go).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) (interface{}, error)
+	Name      string
+	Doc       string
+	Run       func(*Pass) (interface{}, error)
+	FactTypes []Fact
 }
 
 // Pass is the interface between one Analyzer and one package being
@@ -56,6 +58,35 @@ type Pass struct {
 	// Report emits one diagnostic. Drivers install a sink that applies
 	// //lint:ignore suppression before recording.
 	Report func(Diagnostic)
+
+	facts      *FactStore
+	suppressed func(token.Pos) bool
+}
+
+// ExportObjectFact attaches fact to obj, visible to later passes over
+// packages that import this one (and to this pass via
+// ImportObjectFact).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts != nil && obj != nil {
+		p.facts.export(p.Analyzer.Name, obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of fact's type attached to obj into
+// fact, reporting whether one exists. Facts are namespaced per
+// analyzer.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts != nil && obj != nil && p.facts.importFact(p.Analyzer.Name, obj, fact)
+}
+
+// SuppressedAt reports whether a //lint:ignore directive naming this
+// analyzer covers pos. Analyzers whose findings feed facts consult it
+// so a justified suppression also stops interprocedural propagation —
+// suppressing a deliberate panic site keeps every caller clean, rather
+// than demanding a suppression per caller. A true result marks the
+// directive used for the -checkignores audit.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	return p.suppressed != nil && p.suppressed(pos)
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -81,18 +112,23 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore comment. hit records
+// whether any enabled analyzer's diagnostic (or SuppressedAt query)
+// was actually covered by it — the -checkignores staleness signal.
 type ignoreDirective struct {
 	file      string
 	line      int
+	column    int
+	names     string // the analyzer list as written
 	analyzers map[string]bool
+	hit       bool
 }
 
 // parseIgnores collects the //lint:ignore directives of the files.
 // Only well-formed directives (at least one analyzer name and a
 // non-empty reason) take effect.
-func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
-	var out []ignoreDirective
+func parseIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -111,7 +147,10 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
 					}
 				}
 				posn := fset.Position(c.Pos())
-				out = append(out, ignoreDirective{file: posn.Filename, line: posn.Line, analyzers: names})
+				out = append(out, &ignoreDirective{
+					file: posn.Filename, line: posn.Line, column: posn.Column,
+					names: fields[0], analyzers: names,
+				})
 			}
 		}
 	}
@@ -120,41 +159,115 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
 
 // suppressed reports whether a finding by the named analyzer at posn is
 // covered by a directive: same line, or the directive sits alone on the
-// line directly above.
-func suppressed(dirs []ignoreDirective, name string, posn token.Position) bool {
+// line directly above. A covering directive is marked hit.
+func suppressed(dirs []*ignoreDirective, name string, posn token.Position) bool {
+	covered := false
 	for _, d := range dirs {
 		if d.file != posn.Filename || !d.analyzers[name] {
 			continue
 		}
 		if d.line == posn.Line || d.line == posn.Line-1 {
-			return true
+			d.hit = true
+			covered = true
 		}
 	}
-	return false
+	return covered
 }
 
 // RunAnalyzers applies each analyzer to the package and returns the
 // surviving findings sorted by position. It is the single entry point
 // both drivers share, so suppression semantics cannot diverge between
-// `go vet` runs and golden-file tests.
+// `go vet` runs and golden-file tests. Facts are confined to a fresh
+// store; use RunAnalyzersFacts to thread cross-package facts.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := runAnalyzers(fset, files, pkg, info, NewFactStore(), analyzers, false)
+	return findings, err
+}
+
+// RunAnalyzersFacts is RunAnalyzers against a caller-owned fact store:
+// facts decoded from dependencies are visible to the analyzers, and
+// facts they export land in the store for the driver to serialize.
+func RunAnalyzersFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, store *FactStore, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := runAnalyzers(fset, files, pkg, info, store, analyzers, false)
+	return findings, err
+}
+
+// ComputeFacts runs the analyzers for their fact side effects only —
+// the dependencies-of-the-checked-package path: no diagnostics are
+// collected.
+func ComputeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, store *FactStore, analyzers []*Analyzer) error {
+	_, _, err := runAnalyzers(fset, files, pkg, info, store, analyzers, true)
+	return err
+}
+
+// CheckIgnores runs the analyzers and returns one finding per stale
+// //lint:ignore directive: a directive none of whose named analyzers
+// report (or consult SuppressedAt for) a finding at the covered site,
+// or that names an analyzer that does not exist. Regular diagnostics
+// are discarded — the audit's subject is the suppressions themselves.
+func CheckIgnores(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, store *FactStore, analyzers []*Analyzer) ([]Finding, error) {
+
+	_, dirs, err := runAnalyzers(fset, files, pkg, info, store, analyzers, false)
+	if err != nil {
+		return nil, err
+	}
+	enabled := make(map[string]bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	var stale []Finding
+	for _, d := range dirs {
+		var unknown []string
+		for n := range d.analyzers {
+			if !enabled[n] {
+				unknown = append(unknown, n)
+			}
+		}
+		sort.Strings(unknown)
+		posn := token.Position{Filename: d.file, Line: d.line, Column: d.column}
+		switch {
+		case len(unknown) > 0:
+			stale = append(stale, Finding{
+				Analyzer: "checkignores", Posn: posn,
+				Message: fmt.Sprintf("//lint:ignore names unknown analyzer %s: fix the name or delete the directive", strings.Join(unknown, ", ")),
+			})
+		case !d.hit:
+			stale = append(stale, Finding{
+				Analyzer: "checkignores", Posn: posn,
+				Message: fmt.Sprintf("stale //lint:ignore: %s no longer reports a finding at this site; delete the directive", d.names),
+			})
+		}
+	}
+	sortFindings(stale)
+	return stale, nil
+}
+
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, store *FactStore, analyzers []*Analyzer, factsOnly bool) ([]Finding, []*ignoreDirective, error) {
 
 	dirs := parseIgnores(fset, files)
 	var findings []Finding
 	for _, a := range analyzers {
+		name := a.Name
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			facts:     store,
+			suppressed: func(pos token.Pos) bool {
+				return suppressed(dirs, name, fset.Position(pos))
+			},
 		}
-		name := a.Name
 		emitted := make(map[Finding]bool)
 		pass.Report = func(d Diagnostic) {
 			posn := fset.Position(d.Pos)
-			if suppressed(dirs, name, posn) {
+			if suppressed(dirs, name, posn) || factsOnly {
 				return
 			}
 			f := Finding{Analyzer: name, Posn: posn, Message: d.Message}
@@ -165,9 +278,14 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 			findings = append(findings, f)
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 	}
+	sortFindings(findings)
+	return findings, dirs, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Posn, findings[j].Posn
 		if a.Filename != b.Filename {
@@ -181,7 +299,6 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 		}
 		return findings[i].Analyzer < findings[j].Analyzer
 	})
-	return findings, nil
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers

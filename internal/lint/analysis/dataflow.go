@@ -1,0 +1,203 @@
+// A lightweight intra-function dataflow helper: reaching-definitions
+// taint over ast/types, no SSA, stdlib-only like the rest of the
+// framework.
+//
+// Taint answers one question for the analyzers: "may this expression's
+// value derive from one of these seeds?" — where a seed is a set of
+// objects (errcontract seeds a function's parameters and receiver) or
+// an expression predicate (storegate seeds file-read call results).
+// Analyze iterates the function's assignment edges to a fixed point,
+// so definitions reaching through loops converge.
+//
+// Soundness caveats, deliberate for an over-approximating linter
+// (DESIGN.md §8 documents these next to each analyzer's contract):
+//
+//   - Flow-insensitive per object: one tainting assignment anywhere in
+//     the body taints the object everywhere, including before the
+//     assignment. Over-approximates; never misses a real flow within
+//     the function.
+//   - Calls propagate taint from any argument or receiver to the
+//     result (len(p) is tainted when p is). Functions that launder
+//     their inputs are over-approximated; functions that smuggle state
+//     through globals or channels are missed.
+//   - Writes through selectors, indexes, and dereferences taint the
+//     root object (m.insts = raw taints m), an aliasing
+//     over-approximation. Aliases created before the function was
+//     entered are invisible.
+//   - Channel operations and goroutine interleavings are not modeled.
+//   - Function literals share the enclosing scope's taint map, in both
+//     directions.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Taint is one function body's taint state. Zero value is not usable;
+// call NewTaint.
+type Taint struct {
+	info    *types.Info
+	tainted map[types.Object]bool
+	source  func(ast.Expr) bool
+	exempt  func(*ast.CallExpr) bool
+}
+
+// NewTaint returns an engine reading type information from info.
+func NewTaint(info *types.Info) *Taint {
+	return &Taint{info: info, tainted: make(map[types.Object]bool)}
+}
+
+// Seed marks objects as taint roots (parameters, receivers).
+func (t *Taint) Seed(objs ...types.Object) {
+	for _, o := range objs {
+		if o != nil {
+			t.tainted[o] = true
+		}
+	}
+}
+
+// SetSource installs an expression-level taint root predicate: any
+// expression source reports true for is tainted (e.g. an os.ReadFile
+// call). Evaluated on every subexpression.
+func (t *Taint) SetSource(f func(ast.Expr) bool) { t.source = f }
+
+// SetExempt installs a call predicate that stops propagation: an
+// exempt call's result is clean regardless of its arguments (e.g. a
+// verification gate returning blessed bytes).
+func (t *Taint) SetExempt(f func(*ast.CallExpr) bool) { t.exempt = f }
+
+// Analyze iterates body's assignment edges until the tainted set stops
+// growing.
+func (t *Taint) Analyze(body ast.Node) {
+	if body == nil {
+		return
+	}
+	for t.scan(body) {
+	}
+}
+
+// TaintedObj reports whether obj is in the tainted set.
+func (t *Taint) TaintedObj(obj types.Object) bool { return obj != nil && t.tainted[obj] }
+
+// Tainted reports whether e may evaluate to a tainted value: it
+// mentions a tainted object or a source expression outside any exempt
+// call.
+func (t *Taint) Tainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, isExpr := n.(ast.Expr); isExpr && t.source != nil && t.source(ex) {
+			found = true
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if t.exempt != nil && t.exempt(n) {
+				return false // blessed result: the whole call subtree is clean
+			}
+		case *ast.Ident:
+			if t.tainted[t.obj(n)] {
+				found = true
+				return false
+			}
+		case *ast.FuncLit:
+			return false // a closure value is not data
+		}
+		return true
+	})
+	return found
+}
+
+func (t *Taint) obj(id *ast.Ident) types.Object {
+	if o := t.info.Uses[id]; o != nil {
+		return o
+	}
+	return t.info.Defs[id]
+}
+
+// scan performs one propagation pass, reporting whether anything new
+// was tainted.
+func (t *Taint) scan(body ast.Node) bool {
+	changed := false
+	mark := func(e ast.Expr) {
+		if obj := t.rootObj(e); obj != nil && !t.tainted[obj] {
+			t.tainted[obj] = true
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// x, y := f(...): one tainted producer taints every
+				// destination.
+				if t.Tainted(n.Rhs[0]) {
+					for _, l := range n.Lhs {
+						mark(l)
+					}
+				}
+				return true
+			}
+			for i, r := range n.Rhs {
+				if i < len(n.Lhs) && t.Tainted(r) {
+					mark(n.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 && len(n.Names) > 1 {
+				if t.Tainted(n.Values[0]) {
+					for _, id := range n.Names {
+						mark(id)
+					}
+				}
+				return true
+			}
+			for i, v := range n.Values {
+				if i < len(n.Names) && t.Tainted(v) {
+					mark(n.Names[i])
+				}
+			}
+		case *ast.RangeStmt:
+			if t.Tainted(n.X) {
+				mark(n.Key)
+				mark(n.Value)
+			}
+		case *ast.CallExpr:
+			// copy(dst, src) writes through dst.
+			if id, isIdent := n.Fun.(*ast.Ident); isIdent && id.Name == "copy" && len(n.Args) == 2 {
+				if _, isBuiltin := t.obj(id).(*types.Builtin); isBuiltin && t.Tainted(n.Args[1]) {
+					mark(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// rootObj resolves an assignment destination to the object it writes
+// through: x, x.f, x[i], *x, and parenthesized forms all root at x.
+func (t *Taint) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return t.obj(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"testing"
+)
+
+// taintHarness type-checks src, finds the function named fn, seeds the
+// engine with its parameters, runs Analyze, and returns everything a
+// test needs to interrogate the result.
+type taintHarness struct {
+	taint *Taint
+	info  *types.Info
+	decl  *ast.FuncDecl
+	pkg   *types.Package
+}
+
+func newTaintHarness(t *testing.T, src, fn string, opts ...func(*Taint)) *taintHarness {
+	t.Helper()
+	_, files, pkg, info := checkPkg(t, src)
+	var decl *ast.FuncDecl
+	for _, d := range files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			decl = fd
+		}
+	}
+	if decl == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	taint := NewTaint(info)
+	for _, o := range opts {
+		o(taint)
+	}
+	sig := info.Defs[decl.Name].Type().(*types.Signature)
+	if r := sig.Recv(); r != nil {
+		taint.Seed(r)
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		taint.Seed(params.At(i))
+	}
+	taint.Analyze(decl.Body)
+	return &taintHarness{taint: taint, info: info, decl: decl, pkg: pkg}
+}
+
+// local resolves a name to the object defined (or used) somewhere in
+// the analyzed function body.
+func (h *taintHarness) local(t *testing.T, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(h.decl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if o := h.info.Defs[id]; o != nil {
+				obj = o
+			} else if o := h.info.Uses[id]; obj == nil && o != nil {
+				obj = o
+			}
+		}
+		return true
+	})
+	if obj == nil {
+		t.Fatalf("object %s not found in %s", name, h.decl.Name.Name)
+	}
+	return obj
+}
+
+func (h *taintHarness) assertTainted(t *testing.T, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if !h.taint.TaintedObj(h.local(t, n)) {
+			t.Errorf("%s should be tainted", n)
+		}
+	}
+}
+
+func (h *taintHarness) assertClean(t *testing.T, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if h.taint.TaintedObj(h.local(t, n)) {
+			t.Errorf("%s should be clean", n)
+		}
+	}
+}
+
+func TestTaintAssignmentChains(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+func f(p int) {
+	a := p
+	b := a + 1
+	c := 42
+	d := c
+	var e, g = b, c
+	_ = d
+	_, _ = e, g
+}
+`, "f")
+	h.assertTainted(t, "a", "b", "e")
+	h.assertClean(t, "c", "d", "g")
+}
+
+// A definition later in the body reaches a use earlier in the loop —
+// the fixpoint must converge through the back edge.
+func TestTaintLoopFixpoint(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+func f(p int) {
+	x := 0
+	y := 0
+	for i := 0; i < 10; i++ {
+		y = x // x only becomes tainted on a later pass
+		x = p
+	}
+	_ = y
+}
+`, "f")
+	h.assertTainted(t, "x", "y")
+}
+
+func TestTaintMultiValueAndRange(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+func pair(n int) (int, int) { return n, n }
+
+func f(p []int, n int) {
+	a, b := pair(n)
+	c, d := pair(7)
+	for k, v := range p {
+		_, _ = k, v
+	}
+	_, _, _, _ = a, b, c, d
+}
+`, "f")
+	h.assertTainted(t, "a", "b", "k", "v")
+	h.assertClean(t, "c", "d")
+}
+
+// Writes through selectors, indexes, and dereferences taint the root
+// object — the documented aliasing over-approximation.
+func TestTaintRootObjectWrites(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+type box struct{ v int }
+
+func f(p int) {
+	var b box
+	b.v = p
+	alias := b
+	s := make([]int, 4)
+	s[0] = p
+	var q box
+	ptr := &q
+	(*ptr).v = p
+	_ = alias
+}
+`, "f")
+	h.assertTainted(t, "b", "alias", "s", "ptr")
+	h.assertClean(t, "q") // aliasing through ptr is invisible by design
+}
+
+func TestTaintCopyBuiltin(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+func f(p []byte) {
+	dst := make([]byte, len(p))
+	copy(dst, p)
+	clean := make([]byte, 4)
+	other := make([]byte, 4)
+	copy(clean, other)
+	_, _ = dst, clean
+}
+`, "f")
+	h.assertTainted(t, "dst")
+	h.assertClean(t, "clean", "other")
+}
+
+func TestTaintSourcePredicate(t *testing.T) {
+	src := `package fake
+
+func read(name string) []byte { return nil }
+
+func f() {
+	raw := read("trace.bin")
+	n := len(raw)
+	fixed := []byte("header")
+	_, _ = n, fixed
+}
+`
+	h := newTaintHarness(t, src, "f", func(tt *Taint) {
+		tt.SetSource(func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "read"
+		})
+	})
+	h.assertTainted(t, "raw", "n")
+	h.assertClean(t, "fixed")
+}
+
+// An exempt call launders taint: its result is clean even when an
+// argument (or a source call inside an argument) is tainted.
+func TestTaintExemptCall(t *testing.T) {
+	src := `package fake
+
+func read(name string) []byte { return nil }
+func verify(b []byte) []byte  { return b }
+
+func f() {
+	raw := read("trace.bin")
+	blessed := verify(raw)
+	nested := verify(read("other.bin"))
+	still := raw
+	_, _, _ = blessed, nested, still
+}
+`
+	h := newTaintHarness(t, src, "f", func(tt *Taint) {
+		tt.SetSource(func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "read"
+		})
+		tt.SetExempt(func(call *ast.CallExpr) bool {
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "verify"
+		})
+	})
+	h.assertTainted(t, "raw", "still")
+	h.assertClean(t, "blessed", "nested")
+}
+
+// Tainted must see through compound expressions but stop at function
+// literals: a closure value is not data.
+func TestTaintedExpressionQueries(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+func f(p int) {
+	clean := 1
+	g := func() int { return p }
+	_, _ = clean, g
+}
+`, "f")
+	// Find the expressions to query: the RHS of each assignment.
+	var rhs []ast.Expr
+	ast.Inspect(h.decl, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == len(as.Lhs) {
+			rhs = append(rhs, as.Rhs...)
+		}
+		return true
+	})
+	if len(rhs) < 2 {
+		t.Fatalf("expected at least 2 assignment RHS, got %d", len(rhs))
+	}
+	if h.taint.Tainted(rhs[0]) {
+		t.Error("literal 1 reported tainted")
+	}
+	if h.taint.Tainted(rhs[1]) {
+		t.Error("func literal mentioning p reported tainted: a closure value is not data")
+	}
+	if h.taint.TaintedObj(h.local(t, "g")) {
+		t.Error("closure variable g should be clean")
+	}
+}
+
+func TestTaintNilSafety(t *testing.T) {
+	taint := NewTaint(NewTypesInfo())
+	taint.Analyze(nil)
+	if taint.Tainted(nil) {
+		t.Error("nil expression reported tainted")
+	}
+	if taint.TaintedObj(nil) {
+		t.Error("nil object reported tainted")
+	}
+	taint.Seed(nil) // must not panic or store nil
+	if len(taintedSet(taint)) != 0 {
+		t.Error("Seed(nil) stored an entry")
+	}
+}
+
+func taintedSet(t *Taint) []string {
+	var out []string
+	for o := range t.tainted {
+		out = append(out, o.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Guard against accidental name-based matching: two distinct objects
+// with the same name in sibling scopes must be tracked separately.
+func TestTaintScopedObjects(t *testing.T) {
+	h := newTaintHarness(t, `package fake
+
+func f(p int) (a, b int) {
+	{
+		x := p
+		a = x
+	}
+	{
+		x := 3
+		b = x
+	}
+	return
+}
+`, "f")
+	h.assertTainted(t, "a")
+	h.assertClean(t, "b")
+	// Sanity: the two x objects resolved to distinct entries.
+	taintedX := 0
+	for _, name := range taintedSet(h.taint) {
+		if name == "x" {
+			taintedX++
+		}
+	}
+	if taintedX != 1 {
+		t.Errorf("expected exactly one tainted x, got %d", taintedX)
+	}
+}

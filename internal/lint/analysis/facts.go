@@ -1,0 +1,230 @@
+// Cross-package facts: the channel that makes the analyzers
+// interprocedural.
+//
+// A fact is a small serializable statement an analyzer attaches to a
+// types.Object while analyzing the package that declares it — "Run has
+// a Ctx variant", "Intn may panic on an input-dependent path", "this
+// helper serves unverified file bytes". When a later unit imports that
+// package, the driver hands the facts back to the analyzer, which can
+// then judge a call site against the callee's contract without seeing
+// the callee's body.
+//
+// Transport follows the vet protocol's existing channel: cmd/go tells
+// every unit where to write its facts file (vet.cfg's VetxOutput) and
+// where each dependency's sits (PackageVetx), and round-trips the
+// files through its action cache keyed on the tool's build ID. The
+// file body is ours to define; branchlabvet writes a sorted JSON array
+// of per-object records. An object is named by (receiver type, name) —
+// enough for every package-level function, method, type, and variable,
+// which is exactly the set visible to an importer. On the way back in,
+// records are resolved against the importer-loaded *types.Package
+// (Scope lookup, then LookupFieldOrMethod for methods); records naming
+// objects the export data does not surface are dropped, which is
+// sound: a caller cannot reference an object it cannot see.
+//
+// In-process drivers (analysistest) skip serialization entirely and
+// share one FactStore across packages, keyed by object identity.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a serializable statement about a types.Object. Implementations
+// must be pointers to JSON-marshalable structs; AFact is a marker.
+// Analyzers list their fact types in Analyzer.FactTypes so drivers can
+// decode records produced by other processes.
+type Fact interface{ AFact() }
+
+// factKey namespaces stored facts: two analyzers (or two fact types of
+// one analyzer) never see each other's facts.
+type factKey struct {
+	analyzer string
+	typ      string
+}
+
+// FactStore holds the facts visible to one analysis unit: everything
+// decoded from dependency .vetx files plus everything exported while
+// analyzing the unit itself.
+type FactStore struct {
+	objFacts map[types.Object]map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{objFacts: make(map[types.Object]map[factKey]Fact)}
+}
+
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Ptr {
+		return ""
+	}
+	return t.Elem().Name()
+}
+
+func (s *FactStore) export(analyzer string, obj types.Object, f Fact) {
+	name := factTypeName(f)
+	if name == "" {
+		return
+	}
+	m := s.objFacts[obj]
+	if m == nil {
+		m = make(map[factKey]Fact)
+		s.objFacts[obj] = m
+	}
+	m[factKey{analyzer, name}] = f
+}
+
+// importFact copies the stored fact of dst's type into dst, reporting
+// whether one existed.
+func (s *FactStore) importFact(analyzer string, obj types.Object, dst Fact) bool {
+	f, ok := s.objFacts[obj][factKey{analyzer, factTypeName(dst)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// factRecord is the serialized form of one fact in a .vetx file.
+type factRecord struct {
+	Analyzer string          `json:"analyzer"`
+	Recv     string          `json:"recv,omitempty"`
+	Name     string          `json:"name"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// objectKey names obj for serialization: ("", name) for package-scope
+// objects, (receiver type name, method name) for methods. Objects an
+// importer cannot resolve — locals, methods on unnamed receivers —
+// report ok=false and are not serialized.
+func objectKey(obj types.Object) (recv, name string, ok bool) {
+	if fn, isFunc := obj.(*types.Func); isFunc {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			return "", "", false
+		}
+		if r := sig.Recv(); r != nil {
+			t := r.Type()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed {
+				return "", "", false
+			}
+			return named.Obj().Name(), fn.Name(), true
+		}
+		return "", fn.Name(), true
+	}
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return "", obj.Name(), true
+	}
+	return "", "", false
+}
+
+// resolveObject is objectKey's inverse against an importer-loaded
+// package; nil when the export data does not surface the object.
+func resolveObject(pkg *types.Package, recv, name string) types.Object {
+	if recv == "" {
+		return pkg.Scope().Lookup(name)
+	}
+	tn, ok := pkg.Scope().Lookup(recv).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg, name)
+	return obj
+}
+
+// EncodePackage serializes every fact attached to pkg's objects,
+// sorted so the bytes are deterministic (cmd/go content-addresses the
+// file). A package with no facts encodes as zero bytes — the form the
+// pre-facts tool wrote, so old and new vetx files interoperate.
+func (s *FactStore) EncodePackage(pkg *types.Package) ([]byte, error) {
+	var recs []factRecord
+	for obj, m := range s.objFacts {
+		if obj == nil || obj.Pkg() != pkg {
+			continue
+		}
+		recv, name, ok := objectKey(obj)
+		if !ok {
+			continue
+		}
+		for k, f := range m {
+			data, err := json.Marshal(f)
+			if err != nil {
+				return nil, fmt.Errorf("encoding %s fact for %s: %v", k.analyzer, obj.Name(), err)
+			}
+			recs = append(recs, factRecord{Analyzer: k.analyzer, Recv: recv, Name: name, Type: k.typ, Data: data})
+		}
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Recv != b.Recv {
+			return a.Recv < b.Recv
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(recs)
+}
+
+// DecodePackage resolves a .vetx file's records against the loaded
+// dependency package and installs the facts. Records naming objects or
+// fact types this tool build does not know are skipped (the object is
+// invisible to importers, or the file came from a different analyzer
+// set); malformed JSON is an error — cmd/go regenerates vetx files
+// whenever the tool binary changes, so corruption means a real bug.
+func (s *FactStore) DecodePackage(pkg *types.Package, data []byte, analyzers []*Analyzer) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("decoding facts for %s: %v", pkg.Path(), err)
+	}
+	byName := make(map[factKey]reflect.Type)
+	for _, a := range analyzers {
+		for _, ft := range a.FactTypes {
+			t := reflect.TypeOf(ft)
+			if t == nil || t.Kind() != reflect.Ptr {
+				continue
+			}
+			byName[factKey{a.Name, t.Elem().Name()}] = t.Elem()
+		}
+	}
+	for _, r := range recs {
+		t, ok := byName[factKey{r.Analyzer, r.Type}]
+		if !ok {
+			continue
+		}
+		obj := resolveObject(pkg, r.Recv, r.Name)
+		if obj == nil {
+			continue
+		}
+		f, isFact := reflect.New(t).Interface().(Fact)
+		if !isFact {
+			continue
+		}
+		if err := json.Unmarshal(r.Data, f); err != nil {
+			return fmt.Errorf("decoding %s/%s fact for %s.%s: %v", r.Analyzer, r.Type, pkg.Path(), r.Name, err)
+		}
+		s.export(r.Analyzer, obj, f)
+	}
+	return nil
+}

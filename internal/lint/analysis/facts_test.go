@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	Payload string
+}
+
+func (*testFact) AFact() {}
+
+type otherFact struct {
+	N int
+}
+
+func (*otherFact) AFact() {}
+
+func checkPkg(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("branchlab/internal/fake", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+const factSrc = `package fake
+
+type Widget struct{}
+
+func (w *Widget) Spin() {}
+
+func Exported() {}
+
+func unexported() {}
+`
+
+func lookupFunc(t *testing.T, pkg *types.Package, recv, name string) types.Object {
+	t.Helper()
+	obj := resolveObject(pkg, recv, name)
+	if obj == nil {
+		t.Fatalf("lookup (%q, %q) in %s failed", recv, name, pkg.Path())
+	}
+	return obj
+}
+
+// TestFactRoundTrip exercises the full store lifecycle: export, encode
+// to vetx bytes, decode into a fresh store against the same package,
+// import — with per-analyzer namespacing intact.
+func TestFactRoundTrip(t *testing.T) {
+	_, _, pkg, _ := checkPkg(t, factSrc)
+
+	store := NewFactStore()
+	store.export("alpha", lookupFunc(t, pkg, "", "Exported"), &testFact{Payload: "on Exported"})
+	store.export("alpha", lookupFunc(t, pkg, "Widget", "Spin"), &testFact{Payload: "on Spin"})
+	store.export("alpha", lookupFunc(t, pkg, "", "unexported"), &otherFact{N: 7})
+	store.export("beta", lookupFunc(t, pkg, "", "Exported"), &testFact{Payload: "beta namespace"})
+
+	data, err := store.EncodePackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("EncodePackage returned no bytes for a store with facts")
+	}
+
+	analyzers := []*Analyzer{
+		{Name: "alpha", FactTypes: []Fact{(*testFact)(nil), (*otherFact)(nil)}},
+		{Name: "beta", FactTypes: []Fact{(*testFact)(nil)}},
+	}
+	fresh := NewFactStore()
+	if err := fresh.DecodePackage(pkg, data, analyzers); err != nil {
+		t.Fatal(err)
+	}
+
+	var got testFact
+	if !fresh.importFact("alpha", lookupFunc(t, pkg, "", "Exported"), &got) || got.Payload != "on Exported" {
+		t.Errorf("alpha/Exported fact = %+v, want Payload %q", got, "on Exported")
+	}
+	if !fresh.importFact("alpha", lookupFunc(t, pkg, "Widget", "Spin"), &got) || got.Payload != "on Spin" {
+		t.Errorf("alpha/Widget.Spin fact = %+v, want Payload %q", got, "on Spin")
+	}
+	if !fresh.importFact("beta", lookupFunc(t, pkg, "", "Exported"), &got) || got.Payload != "beta namespace" {
+		t.Errorf("beta/Exported fact = %+v, want Payload %q", got, "beta namespace")
+	}
+	var other otherFact
+	if !fresh.importFact("alpha", lookupFunc(t, pkg, "", "unexported"), &other) || other.N != 7 {
+		t.Errorf("alpha/unexported otherFact = %+v, want N=7", other)
+	}
+
+	// Namespacing: beta never exported otherFact, alpha's Spin fact is
+	// invisible to beta.
+	if fresh.importFact("beta", lookupFunc(t, pkg, "", "unexported"), &other) {
+		t.Error("otherFact leaked into the beta namespace")
+	}
+	if fresh.importFact("beta", lookupFunc(t, pkg, "Widget", "Spin"), &got) {
+		t.Error("alpha's Spin fact leaked into the beta namespace")
+	}
+}
+
+// TestEncodeEmptyStore pins the compatibility contract: a package with
+// no facts encodes to zero bytes (the file cmd/go still requires), and
+// zero bytes decode as no facts.
+func TestEncodeEmptyStore(t *testing.T) {
+	_, _, pkg, _ := checkPkg(t, factSrc)
+	store := NewFactStore()
+	data, err := store.EncodePackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("empty store encoded to %d bytes, want 0", len(data))
+	}
+	if err := NewFactStore().DecodePackage(pkg, nil, nil); err != nil {
+		t.Fatalf("decoding empty facts: %v", err)
+	}
+}
+
+// TestDecodeSkipsUnknown pins forward compatibility: fact records
+// naming analyzers, types, or objects this binary does not know are
+// skipped, not errors; malformed JSON is an error.
+func TestDecodeSkipsUnknown(t *testing.T) {
+	_, _, pkg, _ := checkPkg(t, factSrc)
+	analyzers := []*Analyzer{{Name: "alpha", FactTypes: []Fact{(*testFact)(nil)}}}
+
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"unknown analyzer", `[{"analyzer":"gone","recv":"","name":"Exported","type":"testFact","data":{"Payload":"x"}}]`},
+		{"unknown fact type", `[{"analyzer":"alpha","recv":"","name":"Exported","type":"vanishedFact","data":{"Payload":"x"}}]`},
+		{"unknown object", `[{"analyzer":"alpha","recv":"","name":"NoSuchFunc","type":"testFact","data":{"Payload":"x"}}]`},
+		{"unknown method recv", `[{"analyzer":"alpha","recv":"NoSuchType","name":"Spin","type":"testFact","data":{"Payload":"x"}}]`},
+	} {
+		store := NewFactStore()
+		if err := store.DecodePackage(pkg, []byte(tc.data), analyzers); err != nil {
+			t.Errorf("%s: decode errored (%v), want skip", tc.name, err)
+		}
+		var got testFact
+		if store.importFact("alpha", lookupFunc(t, pkg, "", "Exported"), &got) {
+			t.Errorf("%s: skipped record still imported a fact", tc.name)
+		}
+	}
+
+	if err := NewFactStore().DecodePackage(pkg, []byte(`{truncated`), analyzers); err == nil {
+		t.Error("malformed facts JSON decoded without error")
+	}
+}
+
+// TestEncodeFiltersForeignObjects pins that EncodePackage serializes
+// only facts on the package's own objects: a dependency's facts held
+// in the same store must not be re-exported downstream.
+func TestEncodeFiltersForeignObjects(t *testing.T) {
+	_, _, pkg, _ := checkPkg(t, factSrc)
+	_, _, dep, _ := checkPkg(t, `package fake2
+
+func DepFunc() {}
+`)
+	store := NewFactStore()
+	store.export("alpha", lookupFunc(t, pkg, "", "Exported"), &testFact{Payload: "ours"})
+	store.export("alpha", lookupFunc(t, dep, "", "DepFunc"), &testFact{Payload: "theirs"})
+
+	data, err := store.EncodePackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewFactStore()
+	analyzers := []*Analyzer{{Name: "alpha", FactTypes: []Fact{(*testFact)(nil)}}}
+	if err := fresh.DecodePackage(pkg, data, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var got testFact
+	if !fresh.importFact("alpha", lookupFunc(t, pkg, "", "Exported"), &got) {
+		t.Error("own-package fact lost in round trip")
+	}
+	if fresh.importFact("alpha", lookupFunc(t, dep, "", "DepFunc"), &got) {
+		t.Error("dependency's fact serialized into this package's vetx")
+	}
+}

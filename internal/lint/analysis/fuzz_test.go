@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzVetConfig drives parseVetConfig with arbitrary bytes: every
+// rejection must be a typed ErrBadConfig, and no input may panic the
+// unitchecker before it even reaches the type checker. cmd/go
+// materializes vet.cfg itself in normal operation, but the tool also
+// accepts a path on its command line — the parser's contract is
+// "hostile input returns an error".
+func FuzzVetConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"ImportPath":"branchlab/internal/trace"}`))
+	f.Add([]byte(`{"ImportPath":"p","Compiler":"gc","GoFiles":["a.go"]}`))
+	f.Add([]byte(`{"ImportPath":"p","Compiler":"gc","GoFiles":[""]}`))
+	f.Add([]byte(`{"ImportPath":"p","Compiler":"gc","ImportMap":{"":"x"}}`))
+	f.Add([]byte(`{"ImportPath":"p","Compiler":"gc","PackageFile":{"q":""}}`))
+	f.Add([]byte(`{"ImportPath":"p","Compiler":"gc","PackageVetx":{"":"/tmp/x"}}`))
+	f.Add([]byte(`{"ImportPath":"../../../etc","Compiler":"gc","VetxOnly":true}`))
+	f.Add([]byte(`{"ImportPath":"p","Compiler":"gc","GoVersion":"go9999.1"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"ImportPath":4}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := parseVetConfig(data)
+		if err != nil {
+			if cfg != nil {
+				t.Fatalf("parseVetConfig returned both a config and error %v", err)
+			}
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("rejection is not typed: %v", err)
+			}
+			return
+		}
+		// Accepted configs satisfy the invariants the unitchecker
+		// relies on without re-checking.
+		if cfg.ImportPath == "" || cfg.Compiler == "" {
+			t.Fatalf("accepted config missing required fields: %+v", cfg)
+		}
+		for _, name := range cfg.GoFiles {
+			if name == "" {
+				t.Fatalf("accepted config with empty GoFiles entry")
+			}
+		}
+		for src, canon := range cfg.ImportMap {
+			if src == "" || canon == "" {
+				t.Fatalf("accepted config with empty ImportMap entry %q -> %q", src, canon)
+			}
+		}
+		for path, file := range cfg.PackageFile {
+			if path == "" || file == "" {
+				t.Fatalf("accepted config with empty PackageFile entry %q -> %q", path, file)
+			}
+		}
+		for path, file := range cfg.PackageVetx {
+			if path == "" || file == "" {
+				t.Fatalf("accepted config with empty PackageVetx entry %q -> %q", path, file)
+			}
+		}
+		// Any accepted input was valid JSON to begin with.
+		if !json.Valid(data) {
+			t.Fatalf("accepted non-JSON input %q", data)
+		}
+	})
+}

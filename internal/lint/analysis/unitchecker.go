@@ -5,23 +5,33 @@
 //  1. `prog -V=full` must print "name version ... buildID=<id>" so
 //     cmd/go can key its action cache on the tool's content.
 //  2. `prog -flags` must print a JSON description of the analyzer
-//     flags the tool accepts (ours: none, the empty list).
+//     flags the tool accepts (ours: -json and -checkignores); flags
+//     the user passes to `go vet` from that set are forwarded to every
+//     tool invocation.
 //  3. For every package unit, cmd/go materializes a vet.cfg JSON file
 //     (file lists, the import map, and per-dependency export-data
 //     paths) and invokes `prog [flags] path/to/vet.cfg`. The tool
-//     parses and type-checks the unit itself, writes the "facts"
-//     output file cmd/go told it to (VetxOutput — empty for us, the
-//     analyzers are fact-free), prints diagnostics to stderr, and
-//     exits 2 when it found any.
+//     parses and type-checks the unit itself, writes the facts file
+//     cmd/go told it to (VetxOutput), prints diagnostics to stderr,
+//     and exits 2 when it found any.
 //
 // Dependencies are type-checked from the export-data files named in
 // the config via go/importer's lookup hook, so a whole-module run
 // costs one parse+check per package, the same as stock `go vet`.
+//
+// Facts ride the same channel (facts.go): cmd/go also vets every
+// dependency (VetxOnly units, diagnostics discarded) and hands each
+// dependency's facts file back through PackageVetx, so an analyzer
+// checking a caller sees the facts its callees' packages exported.
+// Only this module's packages carry facts — for the standard library
+// the tool writes an empty facts file without parsing anything, which
+// keeps whole-module runs as fast as the fact-free tool was.
 package analysis
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -33,8 +43,20 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
+
+// factModulePrefix limits fact computation to this module's packages:
+// analyzers state contracts about branchlab code only, and skipping
+// the standard library keeps VetxOnly units free (empty facts file, no
+// parse or type-check).
+const factModulePrefix = "branchlab"
+
+// ErrBadConfig is wrapped by every config-shape failure: malformed
+// JSON, missing required fields, bogus entries. The unitchecker never
+// panics on a hostile vet.cfg — FuzzVetConfig pins that.
+var ErrBadConfig = errors.New("invalid vet.cfg")
 
 // vetConfig mirrors the vet.cfg JSON that cmd/go hands a vettool; the
 // field set tracks cmd/go/internal/work's vetConfig struct. Unknown
@@ -54,11 +76,58 @@ type vetConfig struct {
 	PackageFile map[string]string // canonical path -> export data file
 	Standard    map[string]bool
 
-	PackageVetx map[string]string // canonical path -> dependency facts (unused)
+	PackageVetx map[string]string // canonical path -> dependency facts file
 	VetxOnly    bool              // only facts are wanted: no diagnostics
 	VetxOutput  string            // where to write this unit's facts
 
 	SucceedOnTypecheckFailure bool
+}
+
+// parseVetConfig decodes and validates a vet.cfg. All rejections wrap
+// ErrBadConfig; this is the surface FuzzVetConfig drives.
+func parseVetConfig(data []byte) (*vetConfig, error) {
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.ImportPath == "" {
+		return nil, fmt.Errorf("%w: missing ImportPath", ErrBadConfig)
+	}
+	if cfg.Compiler == "" {
+		return nil, fmt.Errorf("%w: missing Compiler", ErrBadConfig)
+	}
+	for _, name := range cfg.GoFiles {
+		if name == "" {
+			return nil, fmt.Errorf("%w: empty GoFiles entry", ErrBadConfig)
+		}
+	}
+	for src, canon := range cfg.ImportMap {
+		if src == "" || canon == "" {
+			return nil, fmt.Errorf("%w: empty ImportMap entry %q -> %q", ErrBadConfig, src, canon)
+		}
+	}
+	for path, file := range cfg.PackageFile {
+		if path == "" || file == "" {
+			return nil, fmt.Errorf("%w: empty PackageFile entry %q -> %q", ErrBadConfig, path, file)
+		}
+	}
+	for path, file := range cfg.PackageVetx {
+		if path == "" || file == "" {
+			return nil, fmt.Errorf("%w: empty PackageVetx entry %q -> %q", ErrBadConfig, path, file)
+		}
+	}
+	return &cfg, nil
+}
+
+// jsonFinding is the -json record shape: one object per line, fixed
+// field order, parsed by the GitHub Actions problem matcher
+// (.github/problem-matchers/branchlabvet.json).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // Vet is the entry point of a vettool binary: it interprets the
@@ -69,7 +138,8 @@ func Vet(analyzers ...*Analyzer) {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	versionFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go protocol)")
-	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON records, one per line")
+	ignoresFlag := fs.Bool("checkignores", false, "report stale //lint:ignore directives instead of diagnostics")
 	fs.Int("c", -1, "display offending line plus this many lines of context (accepted, ignored)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] vet.cfg\n\nAnalyzers:\n", progname)
@@ -101,8 +171,12 @@ func Vet(analyzers ...*Analyzer) {
 		os.Exit(0)
 	}
 	if *flagsFlag {
-		// No analyzer exposes flags; cmd/go expects a JSON array.
-		fmt.Println("[]")
+		// The flags a user may pass through `go vet`; cmd/go parses
+		// this list to know what to forward.
+		fmt.Println(`[` +
+			`{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON records, one per line"},` +
+			`{"Name":"checkignores","Bool":true,"Usage":"report stale //lint:ignore directives instead of diagnostics"}` +
+			`]`)
 		os.Exit(0)
 	}
 
@@ -111,17 +185,23 @@ func Vet(analyzers ...*Analyzer) {
 		os.Exit(1)
 	}
 
-	findings, err := runUnit(fs.Arg(0), analyzers)
+	findings, err := runUnit(fs.Arg(0), analyzers, *ignoresFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
 	if len(findings) > 0 {
 		if *jsonFlag {
-			json.NewEncoder(os.Stderr).Encode(findings)
+			enc := json.NewEncoder(os.Stdout)
+			for _, f := range findings {
+				enc.Encode(jsonFinding{
+					File: f.Posn.Filename, Line: f.Posn.Line, Col: f.Posn.Column,
+					Analyzer: f.Analyzer, Message: f.Message,
+				})
+			}
 		} else {
 			for _, f := range findings {
-				fmt.Fprintf(os.Stderr, "%s: %s\n", f.Posn, f.Message)
+				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Posn, f.Message, f.Analyzer)
 			}
 		}
 		os.Exit(2)
@@ -129,27 +209,29 @@ func Vet(analyzers ...*Analyzer) {
 	os.Exit(0)
 }
 
-// runUnit analyzes one vet.cfg unit and returns the findings.
-func runUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
+// runUnit analyzes one vet.cfg unit and returns the findings (the
+// stale-suppression findings instead, under -checkignores).
+func runUnit(cfgPath string, analyzers []*Analyzer, checkIgnores bool) ([]Finding, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, err
 	}
-	var cfg vetConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	cfg, err := parseVetConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 
 	// cmd/go records the facts file as this action's output and feeds
-	// it to dependents, so it must exist even though our analyzers are
-	// fact-free (an empty file decodes as "no facts").
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, fmt.Errorf("writing facts: %v", err)
+	// it to dependents, so it must exist even when there is nothing to
+	// say (an empty file decodes as "no facts"). Packages outside this
+	// module never carry facts: write the empty file and skip the
+	// parse entirely.
+	if cfg.VetxOnly && !strings.HasPrefix(cfg.ImportPath, factModulePrefix) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return nil, fmt.Errorf("writing facts: %v", err)
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		// A dependency analyzed only for facts: nothing to report.
 		return nil, nil
 	}
 
@@ -210,7 +292,91 @@ func runUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
 		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	return RunAnalyzers(fset, files, pkg, info, analyzers)
+	store := NewFactStore()
+	if err := loadDepFacts(store, cfg, pkg, analyzers); err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	switch {
+	case cfg.VetxOnly:
+		err = ComputeFacts(fset, files, pkg, info, store, analyzers)
+	case checkIgnores:
+		findings, err = CheckIgnores(fset, files, pkg, info, store, analyzers)
+	default:
+		findings, err = RunAnalyzersFacts(fset, files, pkg, info, store, analyzers)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.VetxOutput != "" {
+		facts, err := store.EncodePackage(pkg)
+		if err != nil {
+			return nil, fmt.Errorf("encoding facts: %v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %v", err)
+		}
+	}
+	return findings, nil
+}
+
+// loadDepFacts decodes every dependency facts file named in the config
+// against the type-checked import graph. cmd/go names dependencies by
+// their canonical path, which for a package recompiled into a test
+// binary carries a " [pkg.test]" suffix the export data does not —
+// both sides are normalized before matching. A PackageVetx entry whose
+// package the unit never actually imported resolves to nothing and is
+// skipped: no caller can reference its objects.
+func loadDepFacts(store *FactStore, cfg *vetConfig, pkg *types.Package, analyzers []*Analyzer) error {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	byPath := make(map[string]*types.Package)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if byPath[p.Path()] != nil {
+			return
+		}
+		byPath[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, imp := range pkg.Imports() {
+		walk(imp)
+	}
+
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		plain := path
+		if i := strings.Index(plain, " ["); i >= 0 {
+			plain = plain[:i]
+		}
+		if !strings.HasPrefix(plain, factModulePrefix) {
+			continue // outside the module: always fact-free
+		}
+		dep := byPath[plain]
+		if dep == nil {
+			continue
+		}
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("reading facts for %s: %v", path, err)
+		}
+		if err := store.DecodePackage(dep, data, analyzers); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

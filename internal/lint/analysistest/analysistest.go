@@ -38,19 +38,27 @@ import (
 // Run loads each package path from dir (a testdata root) and applies
 // the analyzer, failing t on any mismatch between diagnostics and
 // // want expectations.
+//
+// Facts cross package boundaries in-process: each imported testdata
+// package runs the analyzer in facts-only mode (no // want checking)
+// as it loads, depth-first, so by the time a named package is checked
+// the shared store already holds its dependencies' facts — the same
+// visibility order the vet driver gets from cmd/go.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	ld := &loader{
-		src:  filepath.Join(dir, "src"),
-		fset: token.NewFileSet(),
-		pkgs: make(map[string]*loadedPkg),
+		src:      filepath.Join(dir, "src"),
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loadedPkg),
+		analyzer: a,
+		facts:    analysis.NewFactStore(),
 	}
 	for _, path := range pkgpaths {
 		lp, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		findings, err := analysis.RunAnalyzers(ld.fset, lp.files, lp.pkg, lp.info, []*analysis.Analyzer{a})
+		findings, err := analysis.RunAnalyzersFacts(ld.fset, lp.files, lp.pkg, lp.info, ld.facts, []*analysis.Analyzer{a})
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
@@ -65,9 +73,11 @@ type loadedPkg struct {
 }
 
 type loader struct {
-	src  string
-	fset *token.FileSet
-	pkgs map[string]*loadedPkg
+	src      string
+	fset     *token.FileSet
+	pkgs     map[string]*loadedPkg
+	analyzer *analysis.Analyzer
+	facts    *analysis.FactStore
 }
 
 // load parses and type-checks the package in src/<path>, resolving its
@@ -115,6 +125,12 @@ func (ld *loader) load(path string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{pkg: pkg, files: files, info: info}
 	ld.pkgs[path] = lp
+	// Populate the shared store with this package's facts. Imports
+	// recursed above, so dependencies are already done — the named
+	// packages get a second, diagnostic-producing pass in Run.
+	if err := analysis.ComputeFacts(ld.fset, files, pkg, info, ld.facts, []*analysis.Analyzer{ld.analyzer}); err != nil {
+		return nil, err
+	}
 	return lp, nil
 }
 
@@ -127,6 +143,12 @@ type expectation struct {
 	file string
 	line int
 	re   *regexp.Regexp
+}
+
+// errorSink abstracts the failure reporting of check so the matching
+// logic itself is testable; *testing.T satisfies it.
+type errorSink interface {
+	Errorf(format string, args ...interface{})
 }
 
 // check compares findings against the files' // want comments.
@@ -143,6 +165,13 @@ func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []anal
 			}
 		}
 	}
+	matchFindings(t, want, findings)
+}
+
+// matchFindings reports every diagnostic with no matching expectation
+// and every expectation with no matching diagnostic to sink. Each
+// expectation consumes at most one diagnostic.
+func matchFindings(sink errorSink, want []*expectation, findings []analysis.Finding) {
 	for _, fd := range findings {
 		matched := false
 		for i, w := range want {
@@ -153,12 +182,12 @@ func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []anal
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic: %s", fd)
+			sink.Errorf("unexpected diagnostic: %s", fd)
 		}
 	}
 	for _, w := range want {
 		if w != nil {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			sink.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
 	}
 }

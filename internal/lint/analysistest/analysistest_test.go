@@ -1,0 +1,152 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"branchlab/internal/lint/analysis"
+)
+
+// recordingSink captures matchFindings failures so the harness's own
+// failure paths are testable without failing the real test.
+type recordingSink struct {
+	msgs []string
+}
+
+func (s *recordingSink) Errorf(format string, args ...interface{}) {
+	s.msgs = append(s.msgs, fmt.Sprintf(format, args...))
+}
+
+func finding(file string, line int, msg string) analysis.Finding {
+	return analysis.Finding{
+		Analyzer: "fake",
+		Posn:     token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func expect(file string, line int, pattern string) *expectation {
+	return &expectation{file: file, line: line, re: regexp.MustCompile(pattern)}
+}
+
+// A diagnostic with no matching // want expectation must fail the test
+// — silently tolerating extra diagnostics would let analyzer
+// regressions slip through golden files unnoticed.
+func TestMatchFindingsUnexpectedDiagnostic(t *testing.T) {
+	sink := &recordingSink{}
+	matchFindings(sink,
+		[]*expectation{expect("a.go", 3, "deterministic")},
+		[]analysis.Finding{
+			finding("a.go", 3, "deterministic seed required"),
+			finding("a.go", 9, "surprise diagnostic"),
+		})
+	if len(sink.msgs) != 1 {
+		t.Fatalf("got %d failures, want 1: %q", len(sink.msgs), sink.msgs)
+	}
+	if !strings.Contains(sink.msgs[0], "unexpected diagnostic") ||
+		!strings.Contains(sink.msgs[0], "surprise diagnostic") {
+		t.Errorf("failure does not identify the stray diagnostic: %q", sink.msgs[0])
+	}
+}
+
+// An expectation with no matching diagnostic must fail the test — a
+// deleted check would otherwise leave its golden // want comments
+// passing vacuously.
+func TestMatchFindingsMissingDiagnostic(t *testing.T) {
+	sink := &recordingSink{}
+	matchFindings(sink,
+		[]*expectation{
+			expect("a.go", 3, "deterministic"),
+			expect("a.go", 5, "never reported"),
+		},
+		[]analysis.Finding{finding("a.go", 3, "deterministic seed required")})
+	if len(sink.msgs) != 1 {
+		t.Fatalf("got %d failures, want 1: %q", len(sink.msgs), sink.msgs)
+	}
+	if !strings.Contains(sink.msgs[0], "a.go:5") ||
+		!strings.Contains(sink.msgs[0], "never reported") {
+		t.Errorf("failure does not identify the unmet expectation: %q", sink.msgs[0])
+	}
+}
+
+// Matching is positional: the same message on the wrong line satisfies
+// nothing, and both failure modes fire at once.
+func TestMatchFindingsWrongLine(t *testing.T) {
+	sink := &recordingSink{}
+	matchFindings(sink,
+		[]*expectation{expect("a.go", 3, "seed required")},
+		[]analysis.Finding{finding("a.go", 4, "seed required")})
+	if len(sink.msgs) != 2 {
+		t.Fatalf("got %d failures, want 2 (unexpected + missing): %q", len(sink.msgs), sink.msgs)
+	}
+}
+
+// Same line, same file, message does not match the pattern: both sides
+// fail rather than fuzzily pairing up.
+func TestMatchFindingsPatternMismatch(t *testing.T) {
+	sink := &recordingSink{}
+	matchFindings(sink,
+		[]*expectation{expect("a.go", 3, "^exact message$")},
+		[]analysis.Finding{finding("a.go", 3, "a different message")})
+	if len(sink.msgs) != 2 {
+		t.Fatalf("got %d failures, want 2: %q", len(sink.msgs), sink.msgs)
+	}
+}
+
+// Each expectation consumes at most one diagnostic: two identical
+// diagnostics on one line need two // want patterns.
+func TestMatchFindingsExpectationConsumedOnce(t *testing.T) {
+	sink := &recordingSink{}
+	matchFindings(sink,
+		[]*expectation{expect("a.go", 3, "dup")},
+		[]analysis.Finding{
+			finding("a.go", 3, "dup message"),
+			finding("a.go", 3, "dup message"),
+		})
+	if len(sink.msgs) != 1 || !strings.Contains(sink.msgs[0], "unexpected diagnostic") {
+		t.Fatalf("second duplicate should be unexpected, got %q", sink.msgs)
+	}
+
+	// And symmetric: two patterns, one diagnostic.
+	sink = &recordingSink{}
+	matchFindings(sink,
+		[]*expectation{expect("a.go", 3, "dup"), expect("a.go", 3, "dup")},
+		[]analysis.Finding{finding("a.go", 3, "dup message")})
+	if len(sink.msgs) != 1 || !strings.Contains(sink.msgs[0], "expected diagnostic") {
+		t.Fatalf("second unmet pattern should fail, got %q", sink.msgs)
+	}
+}
+
+// The clean cases: empty/empty and a full pairing produce no failures.
+func TestMatchFindingsClean(t *testing.T) {
+	sink := &recordingSink{}
+	matchFindings(sink, nil, nil)
+	matchFindings(sink,
+		[]*expectation{expect("a.go", 3, "one"), expect("b.go", 7, "two")},
+		[]analysis.Finding{
+			finding("b.go", 7, "two of them"),
+			finding("a.go", 3, "one of them"),
+		})
+	if len(sink.msgs) != 0 {
+		t.Fatalf("clean match produced failures: %q", sink.msgs)
+	}
+}
+
+// wantPatterns grammar: multiple quoted patterns per comment,
+// non-want comments ignored.
+func TestWantPatterns(t *testing.T) {
+	posn := token.Position{Filename: "a.go", Line: 1}
+	pats := wantPatterns(t, posn, `// want "first" "sec.nd"`)
+	if len(pats) != 2 || !pats[0].MatchString("first") || !pats[1].MatchString("second") {
+		t.Fatalf("parsed %v, want two patterns", pats)
+	}
+	if got := wantPatterns(t, posn, "// an ordinary comment"); got != nil {
+		t.Fatalf("ordinary comment yielded patterns %v", got)
+	}
+	if got := wantPatterns(t, posn, "// wanting is not want"); got != nil {
+		t.Fatalf("near-miss prefix yielded patterns %v", got)
+	}
+}

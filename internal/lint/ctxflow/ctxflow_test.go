@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"branchlab/internal/lint/analysistest"
+	"branchlab/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}
+
+// TestCrossPackageFact checks that bpkg's HasCtxVariant facts survive
+// the package boundary: apkg's diagnostics depend entirely on facts
+// exported while its dependency was loaded.
+func TestCrossPackageFact(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "apkg")
+}

@@ -1,0 +1,18 @@
+package a
+
+import "context"
+
+// Tests sit at the process edge: fresh roots are fine here.
+func helperForTests() context.Context {
+	return context.Background()
+}
+
+func testishRoot() {
+	_ = context.TODO()
+}
+
+// But a context parameter still wins, even in a test file.
+func testHelperWithCtx(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want `already receives a context.Context`
+}

@@ -1,0 +1,37 @@
+// Package apkg imports bpkg: the HasCtxVariant facts computed while
+// loading bpkg must be visible here, across the package boundary.
+package apkg
+
+import (
+	"bpkg"
+	"context"
+)
+
+func drive(ctx context.Context) error {
+	_ = ctx
+	return bpkg.Process() // want `Process has a context variant ProcessCtx`
+}
+
+func driveStore(ctx context.Context, s *bpkg.Store) error {
+	_ = ctx
+	return s.Flush() // want `Flush has a context variant FlushCtx`
+}
+
+// Passing the context to the variant is the fix.
+func driveFixed(ctx context.Context, s *bpkg.Store) error {
+	if err := bpkg.ProcessCtx(ctx); err != nil {
+		return err
+	}
+	return s.FlushCtx(ctx)
+}
+
+// No variant exists for Plain, and no context is in scope below:
+// both clean.
+func drivePlain(ctx context.Context) error {
+	_ = ctx
+	return bpkg.Plain()
+}
+
+func noCtx() error {
+	return bpkg.Process()
+}

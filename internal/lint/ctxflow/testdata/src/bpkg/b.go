@@ -1,0 +1,28 @@
+// Package bpkg declares a function with a Ctx sibling; the
+// HasCtxVariant fact it exports must reach importers.
+package bpkg
+
+import "context"
+
+func Process() error {
+	return ProcessCtx(context.Background())
+}
+
+func ProcessCtx(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+type Store struct{}
+
+func (s *Store) Flush() error {
+	return s.FlushCtx(context.Background())
+}
+
+func (s *Store) FlushCtx(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// No sibling: calling this from a ctx-holding importer is clean.
+func Plain() error { return nil }

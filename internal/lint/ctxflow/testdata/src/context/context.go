@@ -1,0 +1,17 @@
+// Package context is a minimal stand-in for the standard library's
+// context package: ctxflow matches by import path and symbol name, so
+// this fake exercises exactly the production code path.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+func (emptyCtx) Err() error            { return nil }
+
+func Background() Context { return emptyCtx{} }
+func TODO() Context       { return emptyCtx{} }

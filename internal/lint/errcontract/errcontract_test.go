@@ -1,0 +1,19 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"branchlab/internal/lint/analysistest"
+	"branchlab/internal/lint/errcontract"
+)
+
+func TestErrcontract(t *testing.T) {
+	analysistest.Run(t, "testdata", errcontract.Analyzer, "program")
+}
+
+// TestCrossPackageFact checks the MayPanic fact crossing a package
+// boundary: engine's only diagnostic depends on the fact exported
+// while loading dep.
+func TestCrossPackageFact(t *testing.T) {
+	analysistest.Run(t, "testdata", errcontract.Analyzer, "engine")
+}

@@ -1,0 +1,22 @@
+// Package dep is not a target package — no diagnostics fire here —
+// but its MayPanic facts must reach importers.
+package dep
+
+// Explode panics on its input: exports a MayPanic fact.
+func Explode(n int) {
+	if n < 0 {
+		panic("boom")
+	}
+}
+
+// Safe never panics.
+func Safe(n int) int { return n }
+
+// Contained panics internally but recovers: no fact.
+func Contained(n int) (err error) {
+	defer func() { _ = recover() }()
+	if n < 0 {
+		panic("boom")
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package engine is a target package importing dep: the MayPanic fact
+// on dep.Explode must cross the package boundary to flag Forward.
+package engine
+
+import "dep"
+
+// Forwards its parameter into a may-panic dependency: flagged via the
+// imported fact.
+func Forward(n int) { // want `exported Forward may panic on an input-dependent path`
+	dep.Explode(n)
+}
+
+// Forwarding a constant is not input-dependent.
+func ForwardFixed() {
+	dep.Explode(1)
+}
+
+// A panic-free callee keeps the caller clean.
+func ForwardSafe(n int) int {
+	return dep.Safe(n)
+}
+
+// The recovered callee exports no fact.
+func ForwardContained(n int) error {
+	return dep.Contained(n)
+}

@@ -1,0 +1,13 @@
+// Package errors is a minimal stand-in for the standard library's
+// errors package — the analyzer only needs the import path to resolve.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{text} }
+
+func Is(err, target error) bool { return err == target }
+
+func As(err error, target interface{}) bool { return false }

@@ -1,0 +1,127 @@
+// Package program is a target package: exported functions reaching
+// input-dependent panics are flagged, sentinel misuse is flagged
+// everywhere.
+package program
+
+import (
+	"errors"
+	"strings"
+)
+
+var ErrBadInput = errors.New("bad input")
+
+// --- input-dependent panics ---
+
+// Panic guarded by a parameter-derived condition: flagged.
+func Validate(n int) { // want `exported Validate may panic on an input-dependent path`
+	if n < 0 {
+		panic("negative count")
+	}
+}
+
+// Panic whose argument derives from the parameter: flagged.
+func Describe(name string) { // want `exported Describe may panic on an input-dependent path`
+	panic("unknown name " + name)
+}
+
+// Method on an exported type, receiver-dependent: flagged.
+type Table struct{ rows int }
+
+func (t *Table) Row(i int) int { // want `exported Row may panic on an input-dependent path`
+	if i >= t.rows {
+		panic("row out of range")
+	}
+	return i
+}
+
+// Unconditional panic with a constant argument is not input-dependent:
+// an assertion about the program, not the input.
+func Unreachable() {
+	panic("unreachable: covered all cases above")
+}
+
+// A recover() in the body absorbs panics: this is its own boundary.
+func Guarded(n int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = ErrBadInput
+		}
+	}()
+	if n < 0 {
+		panic("negative")
+	}
+	return nil
+}
+
+// A justified suppression at the panic site silences it and stops
+// propagation: callers stay clean.
+func escalate(n int) {
+	if n < 0 {
+		//lint:ignore errcontract deliberate escalation boundary for the golden test
+		panic("negative")
+	}
+}
+
+func UsesEscalate(n int) {
+	escalate(n)
+}
+
+// Propagation through a local helper: the unexported helper panics on
+// its input, the exported wrapper forwards its parameter into it.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+
+func Scale(n int) int { // want `exported Scale may panic on an input-dependent path`
+	return mustPositive(n) * 2
+}
+
+// Forwarding a constant is not input-dependent.
+func ScaleFixed() int {
+	return mustPositive(8) * 2
+}
+
+// --- sentinel discrimination ---
+
+func check(err error) bool {
+	return err == ErrBadInput // want `compare against sentinel ErrBadInput with errors.Is`
+}
+
+func checkNeq(err error) bool {
+	return err != ErrBadInput // want `compare against sentinel ErrBadInput with errors.Is`
+}
+
+func checkString(err error) bool {
+	return err.Error() == "bad input" // want `not by comparing Error\(\) strings`
+}
+
+func checkContains(err error) bool {
+	return strings.Contains(err.Error(), "bad") // want `not strings.Contains on Error\(\) output`
+}
+
+// The contract-conforming forms are clean.
+func checkIs(err error) bool {
+	return errors.Is(err, ErrBadInput)
+}
+
+func checkNil(err error) bool {
+	return err == nil || err != nil
+}
+
+// Asserting that a message exists is not discrimination: clean.
+func checkHasMessage(err error) bool {
+	return err.Error() != ""
+}
+
+// An Is method implements the errors.Is protocol: identity comparison
+// inside it is the implementation, not a violation.
+type wrappedError struct{ cause error }
+
+func (e *wrappedError) Error() string { return "wrapped: " + e.cause.Error() }
+
+func (e *wrappedError) Is(target error) bool { return target == ErrBadInput }
+
+func (e *wrappedError) Unwrap() error { return e.cause }

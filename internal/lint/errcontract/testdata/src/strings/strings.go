@@ -1,0 +1,8 @@
+// Package strings is a minimal stand-in for the standard library's
+// strings package — matched by import path and symbol name.
+package strings
+
+func Contains(s, substr string) bool  { return false }
+func HasPrefix(s, prefix string) bool { return false }
+func HasSuffix(s, suffix string) bool { return false }
+func EqualFold(s, t string) bool      { return false }

@@ -1,0 +1,15 @@
+package storegate_test
+
+import (
+	"testing"
+
+	"branchlab/internal/lint/analysistest"
+	"branchlab/internal/lint/storegate"
+)
+
+// TestStoregate covers the intra-package shapes and, through the blob
+// dependency, the ReadsUnverified and Gated facts crossing a package
+// boundary.
+func TestStoregate(t *testing.T) {
+	analysistest.Run(t, "testdata", storegate.Analyzer, "tracestore")
+}

@@ -1,0 +1,20 @@
+// Package blob is not a store package — no diagnostics fire here —
+// but its facts must reach importers: RawLoad's ReadsUnverified and
+// Decode's Gated.
+package blob
+
+import "os"
+
+// RawLoad returns file bytes untouched: exports a ReadsUnverified
+// fact, making its callers' data tainted.
+func RawLoad(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// VerifyBlob is a gate by naming convention.
+func VerifyBlob(b []byte) error { return nil }
+
+// Decode is a gate by directive: its results are blessed.
+//
+//storegate:gate
+func Decode(b []byte) []byte { return b }

@@ -1,0 +1,8 @@
+// Package program declares the checkpoint payload type storegate
+// matches by package basename and type name.
+package program
+
+type Checkpoint struct {
+	ID   int
+	Seed uint64
+}

@@ -1,0 +1,8 @@
+// Package trace declares the payload element type storegate matches
+// by package basename and type name.
+package trace
+
+type Inst struct {
+	PC     uint64
+	Target uint64
+}

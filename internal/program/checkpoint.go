@@ -85,6 +85,7 @@ func (e *Emitter) Checkpointable(p CheckpointPayload) {
 	e.ckptOwner = p
 	if e.resuming {
 		if !p.CheckpointRestore(e.resumeState) {
+			//lint:ignore errcontract resumeAbort is a typed unwind recovered at the Record* run boundary and surfaced as ErrBadCheckpoint, never escaping to callers
 			panic(resumeAbort{fmt.Errorf("%w: payload rejected the saved state (%d words)",
 				ErrBadCheckpoint, len(e.resumeState))})
 		}

@@ -210,6 +210,7 @@ func TestConcatPropagatesClose(t *testing.T) {
 			t.Errorf("substream %d closed %d times, want 1", i, sp.closed)
 		}
 	}
+	//lint:ignore errcontract asserts which spy's Close error won by its distinguishing message; the spies mint ad-hoc errors, not sentinels
 	if err == nil || err.Error() != "first" {
 		t.Errorf("Concat should return the first Close error, got %v", err)
 	}

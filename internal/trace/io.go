@@ -138,7 +138,7 @@ func (r *Reader) Err() error { return r.err }
 // file was truncated, which callers must be able to distinguish from a
 // clean end of trace.
 func (r *Reader) fail(err error) bool {
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		err = io.ErrUnexpectedEOF
 	}
 	r.err = err
@@ -154,7 +154,7 @@ func (r *Reader) Next(inst *Inst) bool {
 		var hdr [4]byte
 		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 			r.err = err
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				r.err = ErrBadMagic
 			}
 			return false
@@ -167,7 +167,7 @@ func (r *Reader) Next(inst *Inst) bool {
 	}
 	flags, err := r.r.ReadByte()
 	if err != nil {
-		if err != io.EOF {
+		if !errors.Is(err, io.EOF) {
 			r.err = err
 		}
 		return false

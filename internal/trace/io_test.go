@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -65,7 +66,7 @@ func TestIOBadMagic(t *testing.T) {
 	if r.Next(&inst) {
 		t.Fatal("bad magic accepted")
 	}
-	if r.Err() != ErrBadMagic {
+	if !errors.Is(r.Err(), ErrBadMagic) {
 		t.Errorf("err = %v, want ErrBadMagic", r.Err())
 	}
 }

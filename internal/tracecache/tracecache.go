@@ -524,6 +524,7 @@ func (c *Cache) RecordCtx(ctx context.Context, name string, input int, budget ui
 		// gone); a failure escalates to the run boundary.
 		record := src.Record
 		e.rng = func(lo, hi uint64) []trace.Inst {
+			//lint:ignore ctxflow refills are deliberately context-free per the comment above: a replay must be able to finish after the recording context is gone
 			arrs, _, err := record(context.Background(), 0)
 			if err != nil {
 				engine.Abort(err)

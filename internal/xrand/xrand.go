@@ -143,6 +143,7 @@ func (r *Rand) Jump() {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore errcontract Intn mirrors the math/rand API contract, which panics on non-positive n; callers pass literal or validated bounds
 		panic("xrand: Intn with non-positive n")
 	}
 	// Lemire's multiply-shift rejection-free approximation is fine here:
